@@ -1,0 +1,65 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark module regenerates one table or figure of the paper and
+prints the paper's reported values next to the measured ones.  Set
+``REPRO_BENCH_FAST=1`` to run reduced parameter sweeps (fewer points,
+same shapes) — the full sweeps take ~10 minutes of simulation.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.bitmap.catalog import IndexCatalog
+from repro.schema.apb1 import apb1_schema
+
+
+def fast_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def apb1():
+    return apb1_schema()
+
+
+@pytest.fixture(scope="session")
+def apb1_catalog(apb1):
+    return IndexCatalog(apb1)
+
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def print_table(
+    title: str,
+    headers: list[str],
+    rows: list[list[object]],
+    filename: str | None = None,
+) -> None:
+    """Render one experiment table to stdout and (optionally) persist it
+    under ``benchmarks/results/`` so regenerated figures survive pytest's
+    output capturing."""
+    widths = [
+        max(len(str(h)), *(len(str(row[i])) for row in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        f"== {title} ==",
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    text = "\n".join(lines)
+    print()
+    print(text)
+    if filename is not None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(os.path.join(RESULTS_DIR, filename), "w") as handle:
+            handle.write(text + "\n")

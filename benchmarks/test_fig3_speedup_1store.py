@@ -1,0 +1,93 @@
+"""Experiment T5+F3 — Table 5 / Figure 3: 1STORE speed-up.
+
+1STORE is not supported by F_MonthGroup (IOC2-nosupp): it reads all
+11,520 fragments plus the 12 encoded customer bitmaps, making it heavily
+disk-bound.  The paper's findings to reproduce:
+
+* response times depend solely on the number of disks, not processors;
+* speed-up over the disk count is linear, in fact slightly superlinear
+  (shorter seeks with less data per disk);
+* the d=20/p=1 point suffers because the coordinator only runs t-1
+  subqueries.
+"""
+
+from conftest import fast_mode, print_table
+from _simruns import make_query, run_config
+from repro.mdhf.spec import Fragmentation
+
+#: Table 5: p = d/20 ... d/2 per disk count; t = d/p.
+FULL_CONFIGS = {
+    20: [1, 2, 4, 5, 10],
+    60: [3, 6, 12, 15, 30],
+    100: [5, 10, 20, 25, 50],
+}
+FAST_CONFIGS = {20: [1, 5], 100: [5, 25]}
+
+#: Figure 3 (read off the plot): ~600 s at d=20 falling to ~120 s at
+#: d=100, independent of p.
+PAPER_RESPONSE_GUIDE = {20: 600.0, 60: 200.0, 100: 120.0}
+
+
+def test_fig3_1store_speedup(benchmark, apb1):
+    fragmentation = Fragmentation.parse("time::month", "product::group")
+    query = make_query(apb1, "1STORE")
+    configs = FAST_CONFIGS if fast_mode() else FULL_CONFIGS
+
+    def sweep():
+        results = {}
+        for n_disks, node_counts in configs.items():
+            for n_nodes in node_counts:
+                t = max(1, n_disks // n_nodes)
+                metrics = run_config(
+                    apb1, fragmentation, query, n_disks, n_nodes, t
+                )
+                results[(n_disks, n_nodes)] = metrics.response_time
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    baseline_d = min(configs)
+    baseline = min(
+        time for (d, _p), time in results.items() if d == baseline_d
+    )
+    rows = []
+    for (n_disks, n_nodes), response in sorted(results.items()):
+        rows.append(
+            [
+                n_disks,
+                n_nodes,
+                max(1, n_disks // n_nodes),
+                f"{response:.1f}",
+                f"{baseline / response * 1.0:.2f}",
+                f"~{PAPER_RESPONSE_GUIDE[n_disks]:.0f}",
+            ]
+        )
+    print_table(
+        "Figure 3: 1STORE response times and speed-up (t = d/p)",
+        ["d", "p", "t", "response [s]", "speedup vs d=20", "paper [s]"],
+        rows,
+        filename="fig3_1store_speedup.txt",
+    )
+
+    # Disk-bound: at fixed d, response barely depends on p (excluding
+    # the paper's own d=20/p=1 coordinator quirk).
+    for n_disks in configs:
+        times = [
+            time
+            for (d, p), time in results.items()
+            if d == n_disks and not (d == 20 and p == 1)
+        ]
+        if len(times) > 1:
+            assert max(times) / min(times) < 1.2, (n_disks, times)
+
+    # Speed-up in d is at least linear (superlinear via shorter seeks).
+    if 100 in configs and 20 in configs:
+        t20 = min(t for (d, _p), t in results.items() if d == 20)
+        t100 = min(t for (d, _p), t in results.items() if d == 100)
+        assert t20 / t100 >= 4.5
+
+    # Absolute magnitudes in the paper's ballpark (same substrate
+    # parameters, so this should hold within ~2x).
+    for (n_disks, _p), response in results.items():
+        guide = PAPER_RESPONSE_GUIDE[n_disks]
+        assert guide / 2.5 < response < guide * 2.5

@@ -1,0 +1,79 @@
+"""Experiment F5 — Figure 5: parallel subqueries and parallel bitmap I/O.
+
+1STORE on the 100-disk / 20-node configuration, varying the number of
+concurrent subqueries per node (t = 1..13), with and without parallel
+I/O over the 12 staggered bitmap fragments.  The paper's findings:
+
+* response improves linearly up to ~5 subqueries per node (where the
+  total subquery count reaches the disk count), then flattens;
+* parallel bitmap I/O improves response times by up to 13%, most
+  pronounced at few subqueries, converging (but staying ahead) as disk
+  contention grows.
+"""
+
+from conftest import fast_mode, print_table
+from _simruns import make_query, run_config
+from repro.mdhf.spec import Fragmentation
+
+FULL_T_VALUES = [1, 2, 3, 5, 7, 9, 11, 13]
+FAST_T_VALUES = [1, 3, 5]
+
+
+def test_fig5_parallel_bitmap_io(benchmark, apb1):
+    fragmentation = Fragmentation.parse("time::month", "product::group")
+    query = make_query(apb1, "1STORE")
+    t_values = FAST_T_VALUES if fast_mode() else FULL_T_VALUES
+
+    def sweep():
+        results = {}
+        for t in t_values:
+            for parallel in (True, False):
+                metrics = run_config(
+                    apb1, fragmentation, query,
+                    n_disks=100, n_nodes=20, t=t,
+                    parallel_bitmap_io=parallel,
+                )
+                results[(t, parallel)] = metrics.response_time
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for t in t_values:
+        parallel = results[(t, True)]
+        serial = results[(t, False)]
+        improvement = (serial - parallel) / serial * 100
+        rows.append(
+            [t, t * 20, f"{parallel:.1f}", f"{serial:.1f}", f"{improvement:.1f}%"]
+        )
+    print_table(
+        "Figure 5: response time effects of parallel bitmap I/O (1STORE, d=100, p=20)",
+        ["t", "total subqueries", "parallel I/O [s]", "non-parallel [s]", "improvement"],
+        rows,
+        filename="fig5_parallel_bitmap_io.txt",
+    )
+
+    # Parallel bitmap I/O never loses.
+    for t in t_values:
+        assert results[(t, True)] <= results[(t, False)] * 1.02, t
+
+    # Improvement is noticeable at small t (paper: up to 13%).
+    gain_t1 = (results[(1, False)] - results[(1, True)]) / results[(1, False)]
+    assert 0.05 < gain_t1 < 0.30
+
+    # Response improves with t until the subquery count reaches the
+    # disk count (t=5 -> 100 subqueries).
+    assert results[(5, True)] < results[(1, True)] / 3
+
+    # Beyond t=5, little further change.
+    if not fast_mode():
+        t_late = [results[(t, True)] for t in (7, 9, 11, 13)]
+        assert max(t_late) / min(t_late) < 1.15
+        # Parallel bitmap I/O "remains slightly ahead" under contention.
+        # (The paper's curves nearly converge here; our serialised
+        # baseline is harsher, so the gap stays larger — documented as a
+        # deviation in EXPERIMENTS.md.)
+        gain_t13 = (
+            results[(13, False)] - results[(13, True)]
+        ) / results[(13, False)]
+        assert 0.0 < gain_t13 < 0.35

@@ -1,0 +1,125 @@
+"""Experiment F6 — Figure 6: implications of the fragmentation strategy.
+
+Queries 1CODE1QUARTER and 1STORE under F_MonthGroup / F_MonthClass /
+F_MonthCode on the 100-disk / 20-node configuration, over the degree of
+parallelism (total concurrent subqueries).  The paper's findings:
+
+* 1CODE1QUARTER (3 fragments) *benefits* from finer fragmentation:
+  response halves from group to class (fragment size halves, every page
+  is read) and is best for F_MonthCode (IOC1, no bitmaps); optimum at
+  only 3 subqueries;
+* 1STORE shows the *inverse* ordering — F_MonthCode is catastrophic
+  because bitmap fragments drop to 1/6 page, forcing >4 million bitmap
+  page reads;
+* 1STORE needs ~100+ subqueries to approach its best response, which is
+  then roughly 80x the 1CODE1QUARTER response.
+"""
+
+from conftest import fast_mode, print_table
+from _simruns import make_query, run_config
+from repro.mdhf.spec import Fragmentation
+
+FRAGMENTATIONS = {
+    "group": ("time::month", "product::group"),
+    "class": ("time::month", "product::class"),
+    "code": ("time::month", "product::code"),
+}
+
+CQ_DEGREES = [1, 2, 3, 4, 5]
+STORE_DEGREES_FULL = {"group": [20, 40, 80, 120, 160],
+                      "class": [20, 40, 80, 120, 160],
+                      "code": [20, 100, 160]}
+STORE_DEGREES_FAST = {"group": [20, 100], "class": [20, 100], "code": [100]}
+
+
+def test_fig6_1code1quarter(benchmark, apb1):
+    query = make_query(apb1, "1CODE1QUARTER")
+
+    def sweep():
+        results = {}
+        for label, attrs in FRAGMENTATIONS.items():
+            fragmentation = Fragmentation.parse(*attrs)
+            for degree in CQ_DEGREES:
+                metrics = run_config(
+                    apb1, fragmentation, query,
+                    n_disks=100, n_nodes=20, t=1,
+                    max_concurrent=degree,
+                )
+                results[(label, degree)] = metrics.response_time
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for degree in CQ_DEGREES:
+        rows.append(
+            [degree]
+            + [f"{results[(label, degree)]:.2f}" for label in FRAGMENTATIONS]
+        )
+    print_table(
+        "Figure 6 (right): 1CODE1QUARTER response [s] vs degree of parallelism",
+        ["degree", "F_MonthGroup", "F_MonthClass", "F_MonthCode"],
+        rows,
+        filename="fig6_1code1quarter.txt",
+    )
+
+    for degree in CQ_DEGREES:
+        # Finer product fragmentation wins for this query.
+        assert (
+            results[("code", degree)]
+            < results[("class", degree)]
+            < results[("group", degree)]
+        ), degree
+    # The paper's magnitudes: 0-4 s range, group ~3.5-4 s at degree 1.
+    assert 1.5 < results[("group", 1)] < 8.0
+    # Optimum reached at 3 subqueries (only 3 fragments to process).
+    assert results[("group", 3)] == results[("group", 5)]
+    # Fragment size halves group -> class: response roughly halves.
+    ratio = results[("group", 3)] / results[("class", 3)]
+    assert 1.5 < ratio < 2.6
+
+
+def test_fig6_1store(benchmark, apb1):
+    query = make_query(apb1, "1STORE")
+    degrees = STORE_DEGREES_FAST if fast_mode() else STORE_DEGREES_FULL
+
+    def sweep():
+        results = {}
+        for label, attrs in FRAGMENTATIONS.items():
+            fragmentation = Fragmentation.parse(*attrs)
+            for degree in degrees[label]:
+                metrics = run_config(
+                    apb1, fragmentation, query,
+                    n_disks=100, n_nodes=20,
+                    t=max(1, degree // 20),
+                )
+                results[(label, degree)] = metrics.response_time
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    all_degrees = sorted({d for _label, d in results})
+    rows = []
+    for degree in all_degrees:
+        row = [degree]
+        for label in FRAGMENTATIONS:
+            value = results.get((label, degree))
+            row.append(f"{value:.0f}" if value is not None else "-")
+        rows.append(row)
+    print_table(
+        "Figure 6 (left): 1STORE response [s] vs degree of parallelism",
+        ["degree", "F_MonthGroup", "F_MonthClass", "F_MonthCode"],
+        rows,
+        filename="fig6_1store.txt",
+    )
+
+    # Inverse ordering: the fine fragmentation is worst for 1STORE.
+    top = max(d for d in all_degrees if ("code", d) in results)
+    assert results[("code", top)] > results[("class", top)]
+    assert results[("code", top)] > results[("group", top)]
+    # Group (coarsest of the three) is the best or tied.
+    assert results[("group", top)] <= results[("class", top)] * 1.1
+    # High parallelism needed: response at degree 20 is much worse than
+    # at 100+.
+    if not fast_mode():
+        assert results[("group", 20)] > results[("group", 120)] * 2

@@ -1,0 +1,59 @@
+"""Experiment T1 — Table 1: hierarchical encoding of the PRODUCT dimension.
+
+Regenerates every row of Table 1 (total elements, elements within
+parent, bits for encoding) and benchmarks the vectorised encoder.
+"""
+
+import numpy as np
+
+from conftest import print_table
+from repro.bitmap.encoded import HierarchicalEncoding
+
+PAPER_TABLE1 = {
+    # level: (total elements, elements within parent, bits)
+    "division": (8, 8, 3),
+    "line": (24, 3, 2),
+    "family": (120, 5, 3),
+    "group": (480, 4, 2),
+    "class": (960, 2, 1),
+    "code": (14_400, 15, 4),
+}
+
+
+def test_table1_hierarchy_representation(benchmark, apb1):
+    encoding = benchmark(HierarchicalEncoding, apb1.dimension("product").hierarchy)
+    rows = []
+    for level, width in zip(encoding.hierarchy, encoding.widths):
+        paper_total, paper_fanout, paper_bits = PAPER_TABLE1[level.name]
+        rows.append(
+            [
+                level.name.upper(),
+                f"{level.cardinality} (paper {paper_total})",
+                f"{level.fanout} (paper {paper_fanout})",
+                f"{width} (paper {paper_bits})",
+            ]
+        )
+        assert level.cardinality == paper_total
+        assert level.fanout == paper_fanout
+        assert width == paper_bits
+    rows.append(["total", "14400", "", f"{encoding.total_width} (paper 15)"])
+    print_table(
+        "Table 1: hierarchy representation in encoded bitmap join indices",
+        ["level", "#total elements", "#within parent", "#bits"],
+        rows,
+    )
+    assert encoding.total_width == 15
+
+
+def test_group_selection_needs_10_of_15_bitmaps(benchmark, apb1):
+    encoding = HierarchicalEncoding(apb1.dimension("product").hierarchy)
+    assert benchmark(encoding.prefix_width, "group") == 10
+
+
+def test_bench_encode_array(benchmark, apb1):
+    """Throughput of the vectorised hierarchical encoder."""
+    encoding = HierarchicalEncoding(apb1.dimension("product").hierarchy)
+    codes = np.arange(14_400, dtype=np.int64)
+    patterns = benchmark(encoding.encode_array, codes)
+    assert patterns.shape == codes.shape
+    assert int(patterns.max()) < 2**15

@@ -1,0 +1,50 @@
+"""Experiment T4 — Table 4: simulation parameter settings.
+
+Asserts that the simulator's defaults are exactly the paper's Table 4
+and prints the full parameter sheet.
+"""
+
+from conftest import print_table
+from repro.sim.config import SimulationParameters
+
+
+def test_table4_parameter_settings(benchmark):
+    params = benchmark(SimulationParameters)
+    rows = [
+        ["disks (d)", params.hardware.n_disks, 100],
+        ["avg. seek time [ms]", params.disk.avg_seek_ms, 10],
+        ["settle + controller per access [ms]", params.disk.settle_controller_ms, 3],
+        ["per page [ms]", params.disk.per_page_ms, 1],
+        ["nodes (p)", params.hardware.n_nodes, 20],
+        ["CPU speed [MIPS]", params.hardware.cpu_mips, 50],
+        ["initiate/plan query [instr]", params.cpu_costs.initiate_query, 50_000],
+        ["terminate query [instr]", params.cpu_costs.terminate_query, 10_000],
+        ["initiate/plan subquery [instr]", params.cpu_costs.initiate_subquery, 10_000],
+        ["terminate subquery [instr]", params.cpu_costs.terminate_subquery, 10_000],
+        ["read page [instr]", params.cpu_costs.read_page, 3_000],
+        ["process bitmap page [instr]", params.cpu_costs.process_bitmap_page, 1_500],
+        ["extract table row [instr]", params.cpu_costs.extract_table_row, 100],
+        ["aggregate table row [instr]", params.cpu_costs.aggregate_table_row, 100],
+        ["send message [instr]", params.cpu_costs.send_message_base, 1_000],
+        ["receive message [instr]", params.cpu_costs.receive_message_base, 1_000],
+        ["page size [B]", params.buffer.page_size, 4_096],
+        ["buffer fact table [pages]", params.buffer.fact_buffer_pages, 1_000],
+        ["buffer bitmaps [pages]", params.buffer.bitmap_buffer_pages, 5_000],
+        ["prefetch fact table [pages]", params.buffer.prefetch_fact_pages, 8],
+        ["prefetch bitmaps [pages]", params.buffer.prefetch_bitmap_pages, 5],
+        ["network [Mbit/s]", params.network.bandwidth_bits_per_s / 1e6, 100],
+        ["small message [B]", params.network.small_message_bytes, 128],
+        ["large message [B]", params.network.large_message_bytes, 4_096],
+    ]
+    print_table(
+        "Table 4: parameter settings used in simulations",
+        ["parameter", "default", "paper"],
+        rows,
+    )
+    for name, ours, paper in rows:
+        assert ours == paper, name
+
+
+def test_bench_parameter_construction(benchmark):
+    params = benchmark(SimulationParameters)
+    assert params.hardware.n_disks == 100

@@ -1,0 +1,67 @@
+"""Experiment T6 — Table 6: fragmentation parameters for experiment 3.
+
+Fragment counts, bitmap fragment sizes and the adaptive prefetch
+granule for F_MonthGroup / F_MonthClass / F_MonthCode.
+"""
+
+import math
+
+from conftest import print_table
+from repro.bitmap.sizing import bitmap_fragment_pages
+from repro.costmodel.iocost import IOCostParameters
+from repro.mdhf.spec import Fragmentation
+
+PAPER_TABLE6 = {
+    "F_MonthGroup": (11_520, 4.9, 5),
+    "F_MonthClass": (23_040, 2.5, 3),
+    "F_MonthCode": (345_600, 0.16, 1),
+}
+
+FRAGMENTATIONS = {
+    "F_MonthGroup": ("time::month", "product::group"),
+    "F_MonthClass": ("time::month", "product::class"),
+    "F_MonthCode": ("time::month", "product::code"),
+}
+
+
+def test_table6_fragmentation_parameters(benchmark, apb1):
+    params = IOCostParameters()
+
+    def measure():
+        return {
+            label: Fragmentation.parse(*attrs).fragment_count(apb1)
+            for label, attrs in FRAGMENTATIONS.items()
+        }
+
+    fragment_counts = benchmark(measure)
+    rows = []
+    for label, attrs in FRAGMENTATIONS.items():
+        paper_n, paper_pages, paper_granule = PAPER_TABLE6[label]
+        n = fragment_counts[label]
+        pages = bitmap_fragment_pages(apb1.fact_count, n, 4096)
+        granule = params.bitmap_granule(pages)
+        rows.append(
+            [
+                label,
+                f"{n:,} (paper {paper_n:,})",
+                f"{pages:.2f} (paper {paper_pages})",
+                f"{granule} (paper {paper_granule})",
+            ]
+        )
+        assert n == paper_n
+        assert math.isclose(pages, paper_pages, abs_tol=0.05)
+        assert granule == paper_granule
+    print_table(
+        "Table 6: fragmentation parameters for experiment 3",
+        ["fragmentation", "#fragments", "bitmap fragment [pages]", "granule"],
+        rows,
+    )
+
+
+def test_bench_fragment_geometry(benchmark, apb1):
+    """Cost of building geometry for the finest Table 6 fragmentation."""
+    from repro.mdhf.fragments import FragmentGeometry
+
+    fragmentation = Fragmentation.parse("time::month", "product::code")
+    geometry = benchmark(FragmentGeometry, apb1, fragmentation)
+    assert geometry.fragment_count == 345_600

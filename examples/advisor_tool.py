@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Allocation advisor: the DBA tool sketched in Section 4.7.
+
+Given a star schema and an expected query profile, the advisor
+
+1. enumerates every point fragmentation (Table 2's 167 options),
+2. drops those breaking the thresholds of Section 4.4 (minimum bitmap
+   fragment size, maximum fragment count, at least one fragment per
+   disk), and
+3. ranks the survivors by the weighted analytic I/O of the query mix.
+
+The profile below mirrors the paper's experiments: mostly month/group
+aggregations with some drill-down to product codes and occasional store
+reports.  The winner is the paper's own F_MonthGroup.
+
+Run:  python examples/advisor_tool.py
+"""
+
+import random
+
+from repro import AdvisorConfig, apb1_schema, query_type, recommend_fragmentation
+from repro.mdhf.thresholds import max_fragment_threshold
+
+N_DISKS = 100
+
+
+def main() -> None:
+    schema = apb1_schema()
+    rng = random.Random(42)
+
+    # Weighted query profile: (query type, relative frequency).
+    profile = [
+        (query_type("1MONTH1GROUP").instantiate(schema, rng), 5.0),
+        (query_type("1MONTH").instantiate(schema, rng), 3.0),
+        (query_type("1CODE").instantiate(schema, rng), 2.0),
+        (query_type("1CODE1QUARTER").instantiate(schema, rng), 2.0),
+        (query_type("1STORE").instantiate(schema, rng), 1.0),
+    ]
+    print("query profile:")
+    for query, weight in profile:
+        print(f"  {weight:>4.1f}x  {query}")
+
+    n_max = max_fragment_threshold(schema.fact_count, page_size=4096,
+                                   prefetch_granule=4)
+    config = AdvisorConfig(
+        min_bitmap_fragment_pages=4.0,   # threshold (i), Section 4.4
+        max_fragments=n_max,             # threshold (ii): n_max = 14,238
+        min_fragments=N_DISKS,           # at least one fragment per disk
+        restrict_to_query_dimensions=False,
+    )
+    report = recommend_fragmentation(schema, profile, config)
+
+    print(f"\nfragmentation options: {report.options_total} total, "
+          f"{report.options_after_thresholds} past thresholds")
+    print("\ntop candidates (weighted I/O pages over the mix):")
+    header = f"{'fragmentation':<46} {'#frags':>8} {'bm pg':>6} {'kept':>5} {'io pages':>14}"
+    print(header)
+    print("-" * len(header))
+    for candidate in report.candidates[:10]:
+        print(
+            f"{str(candidate.fragmentation):<46} "
+            f"{candidate.fragment_count:>8,} "
+            f"{candidate.bitmap_fragment_pages:>6.1f} "
+            f"{candidate.kept_bitmaps:>5} "
+            f"{candidate.weighted_io_pages:>14,.0f}"
+        )
+
+    best = report.best
+    print(f"\nrecommendation: {best.fragmentation}")
+    print(f"  fragments: {best.fragment_count:,} "
+          f"(>= {N_DISKS} disks, <= n_max {n_max:,})")
+    print(f"  bitmaps to materialise: {best.kept_bitmaps}")
+
+
+if __name__ == "__main__":
+    main()

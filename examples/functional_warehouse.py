@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""A runnable warehouse: MDHF routing and bitmap indices on real rows.
+
+Materialises a scaled-down (structurally identical) APB-1 instance,
+builds the paper's index configuration (encoded bitmap join indices on
+PRODUCT/CUSTOMER, simple bitmap indices on TIME/CHANNEL), fragments the
+fact table with MDHF, and executes star queries — verifying each result
+against a naive full scan and showing how many fragments and bitmaps
+each query actually needed.
+
+Run:  python examples/functional_warehouse.py
+"""
+
+import random
+
+from repro import (
+    Fragmentation,
+    WarehouseEngine,
+    full_scan_aggregate,
+    generate_warehouse,
+    tiny_schema,
+)
+from repro.workload.generator import WorkloadGenerator
+
+
+def main() -> None:
+    schema = tiny_schema()
+    warehouse = generate_warehouse(schema, seed=2024)
+    print(f"materialised {warehouse.row_count:,} fact rows "
+          f"({schema.combination_count:,} possible combinations, "
+          f"density {schema.fact.density:.0%})")
+
+    fragmentation = Fragmentation.parse("time::month", "product::group")
+    engine = WarehouseEngine(warehouse, fragmentation)
+    n_fragments = fragmentation.fragment_count(schema)
+    print(f"fragmentation: {fragmentation} -> {n_fragments} fragments\n")
+
+    generator = WorkloadGenerator(
+        schema,
+        ["1MONTH1GROUP", "1CODE1QUARTER", "1STORE", "1MONTH"],
+        seed=7,
+    )
+    header = (f"{'query':<42} {'rows':>6} {'frags':>5} {'bitmaps':>7} "
+              f"{'sum(units_sold)':>16} {'check':>6}")
+    print(header)
+    print("-" * len(header))
+    for query in generator.stream(8):
+        result = engine.execute(query)
+        oracle = full_scan_aggregate(warehouse, query)
+        ok = (
+            result.row_count == oracle.row_count
+            and abs(result.sum("units_sold") - oracle.sum("units_sold")) < 1e-6
+        )
+        print(
+            f"{str(query):<42} {result.row_count:>6} "
+            f"{result.fragments_processed:>5} {result.bitmap_selections:>7} "
+            f"{result.sum('units_sold'):>16,.2f} {'OK' if ok else 'FAIL':>6}"
+        )
+        assert ok
+
+    print("\nall engine results match the full-scan oracle")
+    print("note how queries on fragmentation attributes (1MONTH1GROUP, "
+          "1MONTH)\nprocess few fragments and zero bitmaps, while 1STORE "
+          "touches every\nfragment and needs the encoded customer index.")
+
+
+if __name__ == "__main__":
+    main()

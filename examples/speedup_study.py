@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""A miniature of the paper's speed-up experiments (Section 6.1).
+
+Runs the disk-bound 1STORE and the CPU-bound 1MONTH query on a few
+hardware configurations and prints the response times and speed-ups,
+showing the paper's central scalability result: 1STORE scales with the
+number of disks, 1MONTH with the number of processors.
+
+Run:  python examples/speedup_study.py          (about a minute)
+      python examples/speedup_study.py --quick  (two configurations)
+"""
+
+import random
+import sys
+from dataclasses import replace
+
+from repro import Fragmentation, apb1_schema
+from repro.sim.config import SimulationParameters
+from repro.sim.simulator import ParallelWarehouseSimulator
+from repro.workload.queries import query_type
+
+
+def run(schema, fragmentation, query, d, p, t):
+    params = replace(
+        SimulationParameters().with_hardware(
+            n_disks=d, n_nodes=p, subqueries_per_node=t
+        ),
+        io_coalesce=8,
+    )
+    sim = ParallelWarehouseSimulator(schema, fragmentation, params)
+    return sim.run([query]).queries[0].response_time
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    schema = apb1_schema()
+    fragmentation = Fragmentation.parse("time::month", "product::group")
+    rng = random.Random(0)
+    one_store = query_type("1STORE").instantiate(schema, rng)
+    one_month = query_type("1MONTH").instantiate(schema, rng)
+
+    disk_configs = [(20, 4), (100, 20)] if quick else [(20, 4), (60, 12), (100, 20)]
+    print("1STORE (disk-bound, IOC2-nosupp): scales with disks")
+    print(f"{'d':>4} {'p':>4} {'t':>3} {'response [s]':>13} {'speed-up':>9}")
+    baseline = None
+    for d, p in disk_configs:
+        t = d // p
+        response = run(schema, fragmentation, one_store, d, p, t)
+        baseline = baseline or response
+        print(f"{d:>4} {p:>4} {t:>3} {response:>13.1f} {baseline / response:>9.2f}")
+
+    node_configs = [(20, 1), (20, 10)] if quick else [(20, 1), (20, 5), (20, 10), (100, 20)]
+    print("\n1MONTH (CPU-bound, IOC1): scales with processors")
+    print(f"{'d':>4} {'p':>4} {'t':>3} {'response [s]':>13} {'speed-up':>9}")
+    baseline = None
+    for d, p in node_configs:
+        response = run(schema, fragmentation, one_month, d, p, 4)
+        baseline = baseline or response
+        print(f"{d:>4} {p:>4} {4:>3} {response:>13.1f} {baseline / response:>9.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+"""repro — Multi-Dimensional Database Allocation for Parallel Data Warehouses.
+
+A from-scratch Python reproduction of Stöhr, Märtens & Rahm (VLDB 2000):
+MDHF multi-dimensional hierarchical fragmentation of star schemas,
+fragmentation-aligned (encoded) bitmap join indices, staggered
+round-robin disk allocation, the analytic I/O cost model, the allocation
+advisor, and a SIMPAD-equivalent Shared Disk PDBS simulator that
+regenerates every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import (apb1_schema, Fragmentation,
+                       ParallelWarehouseSimulator, query_type)
+    import random
+
+    schema = apb1_schema()
+    fragmentation = Fragmentation.parse("time::month", "product::group")
+    sim = ParallelWarehouseSimulator(schema, fragmentation)
+    query = query_type("1MONTH1GROUP").instantiate(schema, random.Random(0))
+    result = sim.run([query])
+    print(result.avg_response_time)
+"""
+
+from repro.schema import (
+    AttributeRef,
+    Dimension,
+    FactTable,
+    Hierarchy,
+    Level,
+    StarSchema,
+    Warehouse,
+    apb1_schema,
+    generate_warehouse,
+    tiny_schema,
+)
+from repro.bitmap import (
+    BitVector,
+    EncodedBitmapJoinIndex,
+    HierarchicalEncoding,
+    IndexCatalog,
+    SimpleBitmapIndex,
+)
+from repro.mdhf import (
+    Fragmentation,
+    FragmentGeometry,
+    IOClass,
+    Predicate,
+    QueryClass,
+    QueryPlan,
+    RangePartition,
+    StarQuery,
+    classify_io,
+    classify_query,
+    eliminate_bitmaps,
+    enumerate_fragmentations,
+    max_fragment_threshold,
+    plan_query,
+)
+from repro.costmodel import IOCostEstimate, IOCostParameters, estimate_io
+from repro.allocation import DiskAllocation, build_allocation
+from repro.sim import (
+    HardwareParameters,
+    ParallelWarehouseSimulator,
+    QueryMetrics,
+    SimulationParameters,
+    SimulationResult,
+)
+from repro.exec import AggregateResult, WarehouseEngine, full_scan_aggregate
+from repro.workload import APB1_QUERY_TYPES, WorkloadGenerator, query_type
+from repro.advisor import AdvisorConfig, recommend_fragmentation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # schema
+    "Level",
+    "Hierarchy",
+    "Dimension",
+    "AttributeRef",
+    "FactTable",
+    "StarSchema",
+    "apb1_schema",
+    "tiny_schema",
+    "Warehouse",
+    "generate_warehouse",
+    # bitmap
+    "BitVector",
+    "SimpleBitmapIndex",
+    "EncodedBitmapJoinIndex",
+    "HierarchicalEncoding",
+    "IndexCatalog",
+    # mdhf
+    "Fragmentation",
+    "RangePartition",
+    "FragmentGeometry",
+    "StarQuery",
+    "Predicate",
+    "QueryClass",
+    "IOClass",
+    "classify_query",
+    "classify_io",
+    "QueryPlan",
+    "plan_query",
+    "eliminate_bitmaps",
+    "enumerate_fragmentations",
+    "max_fragment_threshold",
+    # cost model
+    "IOCostParameters",
+    "IOCostEstimate",
+    "estimate_io",
+    # allocation
+    "DiskAllocation",
+    "build_allocation",
+    # simulator
+    "ParallelWarehouseSimulator",
+    "SimulationParameters",
+    "HardwareParameters",
+    "SimulationResult",
+    "QueryMetrics",
+    # exec
+    "WarehouseEngine",
+    "AggregateResult",
+    "full_scan_aggregate",
+    # workload
+    "APB1_QUERY_TYPES",
+    "query_type",
+    "WorkloadGenerator",
+    # advisor
+    "AdvisorConfig",
+    "recommend_fragmentation",
+]

@@ -1,0 +1,22 @@
+"""Allocation advisor: the guideline tool of Section 4.7.
+
+Automates the paper's data-allocation guidelines for a given star
+schema and query mix: enumerate all fragmentation options, exclude
+threshold breakers (minimum bitmap-fragment size, maximum fragment
+count, maximum bitmaps, minimum fragments for the disk count), then rank
+the survivors by the weighted analytic I/O work of the query mix.
+"""
+
+from repro.advisor.advisor import (
+    AdvisorConfig,
+    AdvisorReport,
+    Candidate,
+    recommend_fragmentation,
+)
+
+__all__ = [
+    "AdvisorConfig",
+    "AdvisorReport",
+    "Candidate",
+    "recommend_fragmentation",
+]

@@ -1,0 +1,34 @@
+"""Physical disk allocation (Section 4.6).
+
+Fact fragments are placed round robin over all disks (full declustering);
+the bitmap fragments belonging to fact fragment *i* on disk *j* go to the
+*consecutive* disks ``j+1 .. j+k`` ("staggered round robin", Figure 2) so
+one subquery can read all its bitmap fragments in parallel.
+
+:mod:`repro.allocation.analysis` reproduces the gcd-clustering pathology
+the paper warns about: with stride-structured queries (1CODE under
+F_MonthGroup) and a non-coprime disk count, the relevant fragments
+cluster on ``d / gcd(stride, d)`` disks.
+"""
+
+from repro.allocation.placement import (
+    DiskAllocation,
+    FragmentPlacement,
+    build_allocation,
+)
+from repro.allocation.analysis import (
+    disks_touched_by_stride,
+    effective_parallelism,
+    parallelism_loss,
+    recommend_disk_count,
+)
+
+__all__ = [
+    "DiskAllocation",
+    "FragmentPlacement",
+    "build_allocation",
+    "disks_touched_by_stride",
+    "effective_parallelism",
+    "parallelism_loss",
+    "recommend_disk_count",
+]

@@ -1,0 +1,102 @@
+"""Declustering analysis: the gcd clustering pathology (Section 4.6).
+
+Round robin can artificially serialise stride-structured queries: under
+F_MonthGroup with months allocated outermost, a 1CODE query touches every
+480th fragment, and with ``d = 100`` disks those land on only
+``d / gcd(480, 100) = 5`` disks — a 4.8x parallelism loss.  The paper's
+remedies: choose a prime disk count, or introduce allocation gaps.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.mdhf.fragments import FragmentGeometry
+from repro.mdhf.routing import QueryPlan
+
+#: Sampling cap for exact disk-touch counting on huge plans.
+_EXACT_LIMIT = 200_000
+
+
+def disks_touched_by_stride(
+    stride: int, count: int, n_disks: int, offset: int = 0
+) -> int:
+    """Distinct disks used by fragments ``offset + i*stride``, i < count.
+
+    Round robin maps fragment f to disk ``f mod d``; a stride-s sequence
+    cycles through ``d / gcd(s, d)`` residues.
+    """
+    if stride <= 0 or count <= 0 or n_disks <= 0:
+        raise ValueError("stride, count and n_disks must be positive")
+    del offset  # the residue class shifts but its size does not change
+    cycle = n_disks // math.gcd(stride, n_disks)
+    return min(count, cycle)
+
+
+def effective_parallelism(
+    plan: QueryPlan, geometry: FragmentGeometry, n_disks: int
+) -> int:
+    """Distinct disks the fact fragments of a plan actually land on.
+
+    Counts exactly for plans up to a sampling cap; larger plans touch
+    every disk under full declustering (their fragment ids cover all
+    residues), which is verified cheaply via the per-axis strides.
+    """
+    total = plan.fragment_count
+    if total >= n_disks and total > _EXACT_LIMIT:
+        return n_disks
+    disks = set()
+    for fragment_id in plan.iter_fragment_ids(geometry):
+        disks.add(fragment_id % n_disks)
+        if len(disks) == n_disks:
+            break
+    return len(disks)
+
+
+def parallelism_loss(
+    plan: QueryPlan, geometry: FragmentGeometry, n_disks: int
+) -> float:
+    """Factor by which disk parallelism falls short of the ideal.
+
+    1.0 means every selected fragment set spreads over
+    ``min(#fragments, d)`` disks; the paper's 1CODE example yields 4.8.
+    """
+    ideal = min(plan.fragment_count, n_disks)
+    actual = effective_parallelism(plan, geometry, n_disks)
+    return ideal / actual
+
+
+def recommend_disk_count(
+    target: int, strides: Iterable[int] = ()
+) -> int:
+    """Pick a disk count near ``target`` avoiding gcd clustering.
+
+    Prefers the closest prime (primes are coprime to every stride below
+    them, the paper's first remedy); among equally distant candidates the
+    larger one wins.
+    """
+    if target < 1:
+        raise ValueError("target must be positive")
+    strides = [s for s in strides if s > 1]
+
+    def is_clean(d: int) -> bool:
+        return all(math.gcd(s, d) == 1 for s in strides)
+
+    def is_prime(d: int) -> bool:
+        if d < 2:
+            return False
+        if d % 2 == 0:
+            return d == 2
+        return all(d % f for f in range(3, int(math.isqrt(d)) + 1, 2))
+
+    best: int | None = None
+    for delta in range(0, max(target, 3)):
+        for candidate in (target + delta, target - delta):
+            if candidate < 1:
+                continue
+            if is_prime(candidate) and is_clean(candidate):
+                return candidate
+            if best is None and is_clean(candidate):
+                best = candidate
+    return best if best is not None else target

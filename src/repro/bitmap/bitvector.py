@@ -1,0 +1,180 @@
+"""Packed bit vectors with Boolean algebra.
+
+One :class:`BitVector` models one bitmap of a bitmap index: bit ``i``
+tells whether fact row ``i`` matches the indexed predicate.  Bits are
+packed eight per byte (``numpy.uint8``), like the on-disk representation
+whose page counts the paper reasons about (223 MB per full-scale bitmap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BitVector:
+    """A fixed-length sequence of bits supporting Boolean operations.
+
+    Construction sites:
+        >>> v = BitVector.from_indices(8, [1, 3])
+        >>> (~v).count()
+        6
+        >>> (v | BitVector.from_indices(8, [0])).indices().tolist()
+        [0, 1, 3]
+    """
+
+    __slots__ = ("_length", "_bytes")
+
+    def __init__(self, length: int, packed: np.ndarray | None = None):
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        self._length = length
+        n_bytes = (length + 7) // 8
+        if packed is None:
+            self._bytes = np.zeros(n_bytes, dtype=np.uint8)
+        else:
+            if packed.dtype != np.uint8 or packed.shape != (n_bytes,):
+                raise ValueError(
+                    f"packed array must be uint8 of shape ({n_bytes},)"
+                )
+            self._bytes = packed.copy()
+            self._mask_tail()
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def zeros(cls, length: int) -> "BitVector":
+        """An all-zero vector of ``length`` bits."""
+        return cls(length)
+
+    @classmethod
+    def ones(cls, length: int) -> "BitVector":
+        """An all-one vector of ``length`` bits."""
+        vec = cls(length)
+        vec._bytes[:] = 0xFF
+        vec._mask_tail()
+        return vec
+
+    @classmethod
+    def from_bool_array(cls, values: np.ndarray) -> "BitVector":
+        """Build from a boolean (or 0/1 integer) array, one entry per bit."""
+        values = np.asarray(values, dtype=bool)
+        if values.ndim != 1:
+            raise ValueError("expected a one-dimensional array")
+        vec = cls(len(values))
+        vec._bytes = np.packbits(values)
+        return vec
+
+    @classmethod
+    def from_indices(cls, length: int, indices) -> "BitVector":
+        """Build with exactly the given bit positions set."""
+        values = np.zeros(length, dtype=bool)
+        values[np.asarray(indices, dtype=np.int64)] = True
+        return cls.from_bool_array(values)
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def byte_size(self) -> int:
+        """Packed size in bytes (the unit the paper's sizing uses)."""
+        return int(self._bytes.nbytes)
+
+    def count(self) -> int:
+        """Number of set bits (query hits)."""
+        return int(np.bitwise_count(self._bytes).sum())
+
+    def get(self, index: int) -> bool:
+        """Read one bit."""
+        self._check_index(index)
+        byte = self._bytes[index >> 3]
+        return bool((byte >> (7 - (index & 7))) & 1)
+
+    def indices(self) -> np.ndarray:
+        """Positions of all set bits, ascending."""
+        bits = np.unpackbits(self._bytes, count=self._length)
+        return np.flatnonzero(bits)
+
+    def to_bool_array(self) -> np.ndarray:
+        """Unpack into a boolean numpy array, one entry per bit."""
+        return np.unpackbits(self._bytes, count=self._length).astype(bool)
+
+    def any(self) -> bool:
+        """True if at least one bit is set."""
+        return bool(self._bytes.any())
+
+    # -- mutation ----------------------------------------------------------
+
+    def set(self, index: int, value: bool = True) -> None:
+        """Write one bit."""
+        self._check_index(index)
+        mask = np.uint8(1 << (7 - (index & 7)))
+        if value:
+            self._bytes[index >> 3] |= mask
+        else:
+            self._bytes[index >> 3] &= np.uint8(~mask)
+
+    # -- Boolean algebra ----------------------------------------------------
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        self._check_compatible(other)
+        return BitVector(self._length, self._bytes & other._bytes)
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        self._check_compatible(other)
+        return BitVector(self._length, self._bytes | other._bytes)
+
+    def __xor__(self, other: "BitVector") -> "BitVector":
+        self._check_compatible(other)
+        return BitVector(self._length, self._bytes ^ other._bytes)
+
+    def __invert__(self) -> "BitVector":
+        return BitVector(self._length, np.bitwise_not(self._bytes))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self._length == other._length and bool(
+            np.array_equal(self._bytes, other._bytes)
+        )
+
+    def __hash__(self):  # mutable; keep unhashable like list
+        raise TypeError("BitVector is mutable and unhashable")
+
+    # -- fragmentation -------------------------------------------------------
+
+    def slice(self, start: int, stop: int) -> "BitVector":
+        """Extract bits ``[start, stop)`` as a new vector.
+
+        Used to cut a bitmap into the per-fact-fragment bitmap fragments
+        of Section 4 (each bitmap is partitioned exactly like the fact
+        table).
+        """
+        if not 0 <= start <= stop <= self._length:
+            raise ValueError(f"bad slice [{start}, {stop}) of {self._length}")
+        bits = np.unpackbits(self._bytes, count=self._length)[start:stop]
+        out = BitVector(stop - start)
+        if len(bits):
+            out._bytes = np.packbits(bits)
+        return out
+
+    # -- internals -----------------------------------------------------------
+
+    def _mask_tail(self) -> None:
+        tail = self._length & 7
+        if tail and len(self._bytes):
+            self._bytes[-1] &= np.uint8((0xFF << (8 - tail)) & 0xFF)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self._length:
+            raise IndexError(f"bit {index} out of range [0, {self._length})")
+
+    def _check_compatible(self, other: "BitVector") -> None:
+        if self._length != other._length:
+            raise ValueError(
+                f"length mismatch: {self._length} vs {other._length}"
+            )
+
+    def __repr__(self) -> str:
+        return f"BitVector(length={self._length}, set={self.count()})"

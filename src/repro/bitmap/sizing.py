@@ -1,0 +1,54 @@
+"""Analytic sizing of bitmaps and bitmap fragments (Sections 3.2, 4.4).
+
+A bitmap stores one bit per fact row; a fact fragment of ``T`` tuples
+therefore corresponds to a bitmap fragment of ``T / 8`` bytes — the
+``8 * SizeFactTuple`` size ratio of the paper's footnote 2.  For the
+full-scale APB-1 configuration one bitmap occupies 233,280,000 B
+(~223 MB) and the F_MonthGroup bitmap fragment is 4.9 pages.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def bitmap_bytes(fact_count: int) -> int:
+    """Packed size of one full bitmap (1 bit per fact row)."""
+    if fact_count < 0:
+        raise ValueError("fact_count must be non-negative")
+    return math.ceil(fact_count / 8)
+
+
+def bitmap_fragment_bytes(fact_count: int, n_fragments: int) -> float:
+    """Average size of one bitmap fragment under ``n_fragments``."""
+    if n_fragments <= 0:
+        raise ValueError("n_fragments must be positive")
+    return bitmap_bytes(fact_count) / n_fragments
+
+
+def bitmap_fragment_pages(
+    fact_count: int, n_fragments: int, page_size: int
+) -> float:
+    """Average bitmap-fragment size in pages (may be fractional).
+
+    This is the quantity the thresholds of Section 4.4 constrain: below
+    one prefetch granule (or even one page), bitmap I/O degenerates —
+    e.g. 0.16 pages for F_MonthCode (Table 6).
+    """
+    if page_size <= 0:
+        raise ValueError("page_size must be positive")
+    return bitmap_fragment_bytes(fact_count, n_fragments) / page_size
+
+
+def max_fragments_for_min_bitmap_pages(
+    fact_count: int, page_size: int, min_pages: float
+) -> int:
+    """Largest fragment count keeping bitmap fragments >= ``min_pages``.
+
+    With ``min_pages = PrefetchGran`` this is the paper's
+    ``n_max = N / (8 * PgSize * PrefetchGran)`` threshold
+    (14,238 for APB-1 with 4 KB pages and a granule of 4).
+    """
+    if min_pages <= 0:
+        raise ValueError("min_pages must be positive")
+    return int(fact_count / (8 * page_size * min_pages))

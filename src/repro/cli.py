@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the library's three main workflows without writing code:
+
+* ``info``      — schema and index-configuration summary (Section 3),
+* ``options``   — enumerate fragmentation options under thresholds
+  (Table 2, Section 4.4),
+* ``cost``      — analytic I/O cost of a query under fragmentations
+  (Table 3, Section 4.5),
+* ``advise``    — recommend a fragmentation for a query mix
+  (Section 4.7),
+* ``simulate``  — run a query type on the simulated Shared Disk PDBS
+  (Sections 5-6).
+
+Examples::
+
+    python -m repro info
+    python -m repro options --min-bitmap-pages 4
+    python -m repro cost 1STORE -f customer::store -f time::month,product::group
+    python -m repro advise 1MONTH1GROUP 1CODE --min-fragments 100
+    python -m repro simulate 1STORE -f time::month,product::group -d 100 -p 20 -t 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.advisor.advisor import AdvisorConfig, recommend_fragmentation
+from repro.bitmap.catalog import IndexCatalog
+from repro.costmodel.report import compare_fragmentations, format_table
+from repro.mdhf.spec import Fragmentation
+from repro.mdhf.thresholds import enumerate_fragmentations
+from repro.schema.apb1 import apb1_schema
+from repro.sim.config import SimulationParameters
+from repro.sim.simulator import ParallelWarehouseSimulator
+from repro.workload.queries import query_type
+
+
+def _parse_fragmentation(text: str) -> Fragmentation:
+    """``time::month,product::group`` -> Fragmentation."""
+    return Fragmentation.parse(*[part.strip() for part in text.split(",")])
+
+
+def _add_schema_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--channels", type=int, default=15,
+        help="APB-1 channel count (scale knob; default 15, the paper's)",
+    )
+    parser.add_argument(
+        "--density", type=float, default=0.25,
+        help="fact-table density factor (default 0.25)",
+    )
+
+
+def _schema(args: argparse.Namespace):
+    return apb1_schema(channels=args.channels, density=args.density)
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    schema = _schema(args)
+    catalog = IndexCatalog(schema)
+    print(schema)
+    print(f"fact bytes: {schema.fact_bytes:,}")
+    for dim in schema.dimensions:
+        levels = " > ".join(
+            f"{l.name}({l.cardinality})" for l in dim.hierarchy
+        )
+        descriptor = catalog.descriptor(dim.name)
+        print(f"  {dim.name}: {levels}  [{descriptor.kind.value} index, "
+              f"{descriptor.bitmap_count} bitmaps]")
+    print(f"total bitmaps: {catalog.total_bitmaps}")
+    return 0
+
+
+def _cmd_options(args: argparse.Namespace) -> int:
+    schema = _schema(args)
+    options = sorted(
+        enumerate_fragmentations(
+            schema,
+            min_bitmap_pages=args.min_bitmap_pages,
+            max_fragments=args.max_fragments,
+        ),
+        key=lambda option: option.fragment_count,
+    )
+    print(f"{len(options)} fragmentation options")
+    for option in options[: args.limit]:
+        print(
+            f"  {str(option.fragmentation):<58} "
+            f"n={option.fragment_count:>12,}  "
+            f"bitmap frag={option.bitmap_fragment_pages:>8.2f} pages"
+        )
+    if len(options) > args.limit:
+        print(f"  ... {len(options) - args.limit} more (use --limit)")
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    schema = _schema(args)
+    rng = random.Random(args.seed)
+    query = query_type(args.query).instantiate(schema, rng)
+    fragmentations = [_parse_fragmentation(text) for text in args.fragmentation]
+    if not fragmentations:
+        print("error: pass at least one -f/--fragmentation", file=sys.stderr)
+        return 2
+    reports = compare_fragmentations(query, fragmentations, schema)
+    print(f"query: {query}")
+    print(format_table(reports))
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    schema = _schema(args)
+    rng = random.Random(args.seed)
+    mix = [query_type(name).instantiate(schema, rng) for name in args.queries]
+    config = AdvisorConfig(
+        min_bitmap_fragment_pages=args.min_bitmap_pages,
+        max_fragments=args.max_fragments,
+        min_fragments=args.min_fragments,
+        restrict_to_query_dimensions=not args.all_dimensions,
+    )
+    report = recommend_fragmentation(schema, mix, config)
+    print(
+        f"{report.options_total} options, "
+        f"{report.options_after_thresholds} past thresholds"
+    )
+    for rank, candidate in enumerate(report.candidates[: args.limit], start=1):
+        print(
+            f"{rank:>3}. {str(candidate.fragmentation):<52} "
+            f"n={candidate.fragment_count:>10,}  "
+            f"bitmaps={candidate.kept_bitmaps:>3}  "
+            f"io={candidate.weighted_io_pages:>14,.0f} pages"
+        )
+    if not report.candidates:
+        print("no fragmentation survived the thresholds", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    schema = _schema(args)
+    rng = random.Random(args.seed)
+    query = query_type(args.query).instantiate(schema, rng)
+    from dataclasses import replace
+
+    params = replace(
+        SimulationParameters().with_hardware(
+            n_disks=args.disks,
+            n_nodes=args.nodes,
+            subqueries_per_node=args.tasks,
+        ),
+        io_coalesce=args.io_coalesce,
+        seed=args.seed,
+    )
+    fragmentation = _parse_fragmentation(args.fragmentation[0])
+    simulator = ParallelWarehouseSimulator(schema, fragmentation, params)
+    result = simulator.run_repeated(query, args.repeat)
+    print(f"query: {query}")
+    print(f"fragmentation: {fragmentation}")
+    print(f"hardware: d={args.disks} p={args.nodes} t={args.tasks}")
+    print(f"avg response time: {result.avg_response_time:.3f} s")
+    metrics = result.queries[0]
+    print(f"subqueries: {metrics.subqueries:,}")
+    print(f"fact pages: {metrics.fact_pages:,}  "
+          f"bitmap pages: {metrics.bitmap_pages:,}")
+    print(f"disk utilisation: {result.avg_disk_utilization:.0%}  "
+          f"cpu utilisation: {result.avg_cpu_utilization:.0%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MDHF data allocation for parallel data warehouses "
+                    "(Stöhr/Märtens/Rahm, VLDB 2000)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="schema and index summary")
+    _add_schema_arguments(info)
+    info.set_defaults(handler=_cmd_info)
+
+    options = sub.add_parser("options", help="enumerate fragmentations (Table 2)")
+    _add_schema_arguments(options)
+    options.add_argument("--min-bitmap-pages", type=float, default=0.0)
+    options.add_argument("--max-fragments", type=int, default=None)
+    options.add_argument("--limit", type=int, default=20)
+    options.set_defaults(handler=_cmd_options)
+
+    cost = sub.add_parser("cost", help="analytic I/O cost (Table 3)")
+    _add_schema_arguments(cost)
+    cost.add_argument("query", help="query type, e.g. 1STORE")
+    cost.add_argument(
+        "-f", "--fragmentation", action="append", default=[],
+        help="comma-separated attributes, e.g. time::month,product::group",
+    )
+    cost.add_argument("--seed", type=int, default=0)
+    cost.set_defaults(handler=_cmd_cost)
+
+    advise = sub.add_parser("advise", help="recommend a fragmentation (Section 4.7)")
+    _add_schema_arguments(advise)
+    advise.add_argument("queries", nargs="+", help="query types of the mix")
+    advise.add_argument("--min-bitmap-pages", type=float, default=4.0)
+    advise.add_argument("--max-fragments", type=int, default=None)
+    advise.add_argument("--min-fragments", type=int, default=1)
+    advise.add_argument("--all-dimensions", action="store_true")
+    advise.add_argument("--limit", type=int, default=10)
+    advise.add_argument("--seed", type=int, default=0)
+    advise.set_defaults(handler=_cmd_advise)
+
+    simulate = sub.add_parser("simulate", help="simulate a query (Sections 5-6)")
+    _add_schema_arguments(simulate)
+    simulate.add_argument("query", help="query type, e.g. 1STORE")
+    simulate.add_argument(
+        "-f", "--fragmentation", action="append", required=True,
+        help="comma-separated attributes",
+    )
+    simulate.add_argument("-d", "--disks", type=int, default=100)
+    simulate.add_argument("-p", "--nodes", type=int, default=20)
+    simulate.add_argument("-t", "--tasks", type=int, default=4)
+    simulate.add_argument("--repeat", type=int, default=1)
+    simulate.add_argument("--io-coalesce", type=int, default=8)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

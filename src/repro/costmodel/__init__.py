@@ -1,0 +1,30 @@
+"""Analytic I/O cost model (Section 4.5; stand-in for tech report [33]).
+
+Estimates, for a query under a fragmentation, the number of fact-table
+and bitmap I/O operations, pages and bytes — the quantities Table 3
+compares for 1STORE under F_opt vs F_nosupp.  The model follows the
+paper's stated assumptions: uniform distribution of hits within relevant
+fragments and pages, consecutive on-disk storage of each fragment, and
+prefetch-granule I/O.
+
+The exact formulas of the unavailable tech report [33] could not be
+recovered; this module re-derives them from the stated assumptions using
+the classical Yao/Cardenas block-hit estimate.  EXPERIMENTS.md records
+where the resulting absolute values deviate from the paper's Table 3
+(same orders of magnitude, identical orderings).
+"""
+
+from repro.costmodel.estimator import cardenas, distinct_blocks, yao
+from repro.costmodel.iocost import IOCostEstimate, IOCostParameters, estimate_io
+from repro.costmodel.report import CostReport, compare_fragmentations
+
+__all__ = [
+    "yao",
+    "cardenas",
+    "distinct_blocks",
+    "IOCostParameters",
+    "IOCostEstimate",
+    "estimate_io",
+    "CostReport",
+    "compare_fragmentations",
+]

@@ -1,0 +1,85 @@
+"""Tabular cost comparisons across fragmentations (Table 3 style).
+
+The paper's guideline workflow (Section 4.7) ranks candidate
+fragmentations by the analytic I/O work of a query mix; this module
+produces those rows both for reports and for the advisor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bitmap.catalog import IndexCatalog
+from repro.costmodel.iocost import IOCostEstimate, IOCostParameters, estimate_io
+from repro.mdhf.classify import IOClass
+from repro.mdhf.query import StarQuery
+from repro.mdhf.routing import plan_query
+from repro.mdhf.spec import Fragmentation
+from repro.schema.fact import StarSchema
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """One (query, fragmentation) cost row."""
+
+    query: StarQuery
+    fragmentation: Fragmentation
+    io_class: IOClass
+    estimate: IOCostEstimate
+
+    def row(self) -> dict[str, object]:
+        """A flat dict suitable for printing or CSV export."""
+        return {
+            "query": self.query.name or str(self.query),
+            "fragmentation": str(self.fragmentation),
+            "io_class": self.io_class.value,
+            "fragments": self.estimate.fragment_count,
+            "fact_io_ops": round(self.estimate.fact_io_ops),
+            "fact_pages": round(self.estimate.fact_pages),
+            "bitmap_io_ops": round(self.estimate.bitmap_io_ops),
+            "bitmap_pages": round(self.estimate.bitmap_pages),
+            "total_mib": round(self.estimate.total_mib, 1),
+        }
+
+
+def compare_fragmentations(
+    query: StarQuery,
+    fragmentations: list[Fragmentation],
+    schema: StarSchema,
+    catalog: IndexCatalog | None = None,
+    params: IOCostParameters | None = None,
+) -> list[CostReport]:
+    """Cost one query under several fragmentations (Table 3)."""
+    if catalog is None:
+        catalog = IndexCatalog(schema)
+    reports = []
+    for fragmentation in fragmentations:
+        plan = plan_query(query, fragmentation, schema, catalog)
+        estimate = estimate_io(plan, schema, params)
+        reports.append(
+            CostReport(
+                query=query,
+                fragmentation=fragmentation,
+                io_class=plan.io_class,
+                estimate=estimate,
+            )
+        )
+    return reports
+
+
+def format_table(reports: list[CostReport]) -> str:
+    """Render cost rows as an aligned text table."""
+    if not reports:
+        return "(no rows)"
+    rows = [r.row() for r in reports]
+    headers = list(rows[0])
+    widths = {
+        h: max(len(h), *(len(str(row[h])) for row in rows)) for h in headers
+    }
+    lines = [
+        "  ".join(h.ljust(widths[h]) for h in headers),
+        "  ".join("-" * widths[h] for h in headers),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(row[h]).ljust(widths[h]) for h in headers))
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Executable star-query engine over materialised warehouses.
+
+A small but real query processor that exercises the *logic* the
+simulator only models: MDHF fragment routing, bitmap-index selection
+(simple and encoded), fragment-wise processing and aggregation.  It runs
+on scaled-down warehouses (:func:`repro.schema.datagen.generate_warehouse`)
+and is the correctness oracle for the property-based tests: the
+fragment-restricted, bitmap-filtered aggregate must equal a naive full
+scan, for every query and every fragmentation.
+"""
+
+from repro.exec.engine import AggregateResult, WarehouseEngine
+from repro.exec.oracle import full_scan_aggregate
+
+__all__ = ["WarehouseEngine", "AggregateResult", "full_scan_aggregate"]

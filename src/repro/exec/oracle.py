@@ -1,0 +1,31 @@
+"""Naive full-scan query evaluation — the correctness oracle.
+
+Evaluates star queries directly on the warehouse columns, without
+fragments or bitmap indices.  Every optimised path of
+:class:`repro.exec.engine.WarehouseEngine` must produce identical
+aggregates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exec.engine import AggregateResult
+from repro.mdhf.query import StarQuery
+from repro.schema.datagen import Warehouse
+
+
+def full_scan_aggregate(warehouse: Warehouse, query: StarQuery) -> AggregateResult:
+    """Aggregate ``query`` by scanning every fact row."""
+    query.validate(warehouse.schema)
+    mask = np.ones(warehouse.row_count, dtype=bool)
+    for predicate in query.predicates:
+        column = warehouse.level_column(
+            predicate.attribute.dimension, predicate.attribute.level
+        )
+        mask &= np.isin(column, np.asarray(predicate.values))
+    measures = query.measures or warehouse.schema.fact.measures
+    sums = {
+        name: float(warehouse.measure(name)[mask].sum()) for name in measures
+    }
+    return AggregateResult(sums=sums, row_count=int(mask.sum()))

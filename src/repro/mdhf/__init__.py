@@ -1,0 +1,49 @@
+"""MDHF — multi-dimensional hierarchical fragmentation (Section 4).
+
+The paper's primary contribution: point fragmentations of the fact table
+on one attribute per dimension, applied identically to every bitmap of
+every bitmap index.  This package provides
+
+* :class:`Fragmentation` — the spec (``F = {time::month, product::group}``),
+* fragment enumeration and the logical fragment order used for allocation,
+* :class:`StarQuery` — exact-match star queries over hierarchy levels,
+* the query taxonomy Q1–Q4 and I/O classes IOC1(-opt)/IOC2(-nosupp),
+* fragment routing (which fragments a query must touch),
+* bitmap-requirement analysis and bitmap elimination, and
+* the fragmentation thresholds and the full option enumeration (Table 2).
+"""
+
+from repro.mdhf.ranges import RangePartition
+from repro.mdhf.spec import Fragmentation
+from repro.mdhf.fragments import FragmentGeometry
+from repro.mdhf.query import Predicate, StarQuery
+from repro.mdhf.classify import IOClass, QueryClass, classify_io, classify_query
+from repro.mdhf.routing import BitmapRequirement, QueryPlan, plan_query
+from repro.mdhf.elimination import BitmapElimination, eliminate_bitmaps
+from repro.mdhf.thresholds import (
+    FragmentationOption,
+    enumerate_fragmentations,
+    max_fragment_threshold,
+    option_counts_by_dimensionality,
+)
+
+__all__ = [
+    "Fragmentation",
+    "RangePartition",
+    "FragmentGeometry",
+    "Predicate",
+    "StarQuery",
+    "QueryClass",
+    "IOClass",
+    "classify_query",
+    "classify_io",
+    "QueryPlan",
+    "BitmapRequirement",
+    "plan_query",
+    "BitmapElimination",
+    "eliminate_bitmaps",
+    "FragmentationOption",
+    "enumerate_fragmentations",
+    "max_fragment_threshold",
+    "option_counts_by_dimensionality",
+]

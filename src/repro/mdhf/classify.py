@@ -1,0 +1,126 @@
+"""Query taxonomy Q1–Q4 and I/O classes (Sections 4.2 and 4.5).
+
+The paper distinguishes, for a query Q under a fragmentation F:
+
+* **Q1** — Q references fragmentation attributes themselves;
+* **Q2** — Q references attributes *below* a fragmentation attribute in
+  its dimension hierarchy;
+* **Q3** — Q references attributes *above* a fragmentation attribute;
+* **Q4** — mixed: at least one at-or-below and one at-or-above, across
+  at least two fragmentation dimensions;
+* unsupported — Q references no fragmentation dimension at all.
+
+and two I/O classes:
+
+* **IOC1** (clustered hits, no bitmap access): ``Dim(Q) ⊆ Dim(F)`` and
+  every query attribute is at or above its fragmentation attribute;
+  **IOC1-opt** if additionally ``Dim(Q) = Dim(F)`` with exact level
+  matches (one fragment to process).
+* **IOC2** (spread hits, bitmap I/O) otherwise; **IOC2-nosupp** if the
+  query references no fragmentation dimension (all fragments, all
+  bitmaps of the referenced dimensions).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.mdhf.query import StarQuery
+from repro.mdhf.spec import Fragmentation
+from repro.schema.fact import StarSchema
+
+
+class QueryClass(enum.Enum):
+    """The paper's basic query cases with respect to a fragmentation."""
+
+    Q1_FRAGMENTATION_ATTRIBUTES = "Q1"
+    Q2_LOWER_LEVEL = "Q2"
+    Q3_HIGHER_LEVEL = "Q3"
+    Q4_MIXED = "Q4"
+    UNSUPPORTED = "unsupported"
+
+
+class IOClass(enum.Enum):
+    """I/O overhead classes of Section 4.5."""
+
+    IOC1_OPT = "IOC1-opt"
+    IOC1 = "IOC1"
+    IOC2 = "IOC2"
+    IOC2_NOSUPP = "IOC2-nosupp"
+
+    @property
+    def needs_bitmaps(self) -> bool:
+        """IOC1 queries never touch bitmaps of fragmentation dimensions.
+
+        Note this flag concerns the *class* definition; even an IOC1
+        query would need bitmaps for extra non-fragmentation attributes,
+        which by definition it does not have.
+        """
+        return self in (IOClass.IOC2, IOClass.IOC2_NOSUPP)
+
+
+def _relative_depths(
+    query: StarQuery, fragmentation: Fragmentation, schema: StarSchema
+) -> list[int]:
+    """depth(query attr) - depth(frag attr) per shared dimension.
+
+    Positive means the query attribute is *below* (finer than) the
+    fragmentation attribute; negative means above; zero means equal.
+    """
+    depths = []
+    for pred in query.predicates:
+        dim = pred.attribute.dimension
+        if not fragmentation.covers(dim):
+            continue
+        hierarchy = schema.dimension(dim).hierarchy
+        q_depth = hierarchy.depth(pred.attribute.level)
+        f_depth = hierarchy.depth(fragmentation.level_for(dim))
+        depths.append(q_depth - f_depth)
+    return depths
+
+
+def classify_query(
+    query: StarQuery, fragmentation: Fragmentation, schema: StarSchema
+) -> QueryClass:
+    """Assign a query to the paper's Q1–Q4 taxonomy."""
+    query.validate(schema)
+    fragmentation.validate(schema)
+    depths = _relative_depths(query, fragmentation, schema)
+    if not depths:
+        return QueryClass.UNSUPPORTED
+    has_below = any(d > 0 for d in depths)
+    has_above = any(d < 0 for d in depths)
+    if len(depths) >= 2 and has_below and has_above:
+        return QueryClass.Q4_MIXED
+    if has_below:
+        return QueryClass.Q2_LOWER_LEVEL
+    if has_above:
+        return QueryClass.Q3_HIGHER_LEVEL
+    return QueryClass.Q1_FRAGMENTATION_ATTRIBUTES
+
+
+def classify_io(
+    query: StarQuery, fragmentation: Fragmentation, schema: StarSchema
+) -> IOClass:
+    """Assign a query to IOC1(-opt) / IOC2(-nosupp)."""
+    query.validate(schema)
+    fragmentation.validate(schema)
+    query_dims = query.dimensions()
+    frag_dims = fragmentation.dimensions()
+    if not query_dims & frag_dims:
+        return IOClass.IOC2_NOSUPP
+
+    depths = _relative_depths(query, fragmentation, schema)
+    within_f = query_dims <= frag_dims
+    at_or_above = all(d <= 0 for d in depths)
+    # Only point fragmentations absorb predicates: a range fragment
+    # mixes several attribute values, so bitmap access remains needed.
+    points_only = all(
+        fragmentation.is_point_on(dim)
+        for dim in query_dims & frag_dims
+    )
+    if within_f and at_or_above and points_only:
+        if query_dims == frag_dims and all(d == 0 for d in depths):
+            return IOClass.IOC1_OPT
+        return IOClass.IOC1
+    return IOClass.IOC2

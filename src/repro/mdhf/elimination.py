@@ -1,0 +1,75 @@
+"""Bitmap elimination under a fragmentation (Section 4.2).
+
+For selections on fragmentation attributes and on higher-level
+attributes of a fragmentation dimension, *all* rows of the selected
+fragments are relevant, so their bitmaps would contain only "1" bits and
+can be dropped:
+
+* encoded index — the prefix bits down to the fragmentation level
+  (10 of PRODUCT's 15 bits under a GROUP fragmentation);
+* simple index — every bitmap of every level at or above the
+  fragmentation level (all 34 TIME bitmaps under a MONTH fragmentation).
+
+For F_MonthGroup this reduces APB-1's 76 bitmaps to 32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bitmap.catalog import IndexCatalog, IndexKind
+from repro.mdhf.spec import Fragmentation
+
+
+@dataclass(frozen=True)
+class BitmapElimination:
+    """Result of applying a fragmentation to an index catalog."""
+
+    fragmentation: Fragmentation
+    #: Bitmaps kept per dimension (dimension name -> count).
+    kept: dict[str, int]
+    #: Bitmaps eliminated per dimension.
+    eliminated: dict[str, int]
+
+    @property
+    def total_kept(self) -> int:
+        return sum(self.kept.values())
+
+    @property
+    def total_eliminated(self) -> int:
+        return sum(self.eliminated.values())
+
+
+def eliminate_bitmaps(
+    catalog: IndexCatalog, fragmentation: Fragmentation
+) -> BitmapElimination:
+    """Compute which bitmaps a fragmentation makes redundant."""
+    fragmentation.validate(catalog.schema)
+    kept: dict[str, int] = {}
+    eliminated: dict[str, int] = {}
+    for descriptor in catalog:
+        dim_name = descriptor.dimension
+        if not fragmentation.covers(dim_name) or not fragmentation.is_point_on(
+            dim_name
+        ):
+            # Range fragments mix several attribute values, so their
+            # bitmaps would not be all-ones and cannot be dropped.
+            kept[dim_name] = descriptor.bitmap_count
+            eliminated[dim_name] = 0
+            continue
+        frag_level = fragmentation.level_for(dim_name)
+        hierarchy = catalog.schema.dimension(dim_name).hierarchy
+        if descriptor.kind is IndexKind.ENCODED:
+            assert descriptor.encoding is not None
+            dropped = descriptor.encoding.prefix_width(frag_level)
+        else:
+            frag_depth = hierarchy.depth(frag_level)
+            dropped = sum(
+                level.cardinality
+                for level in hierarchy.levels[: frag_depth + 1]
+            )
+        eliminated[dim_name] = dropped
+        kept[dim_name] = descriptor.bitmap_count - dropped
+    return BitmapElimination(
+        fragmentation=fragmentation, kept=kept, eliminated=eliminated
+    )

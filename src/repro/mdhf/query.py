@@ -1,0 +1,150 @@
+"""Star-query model (Section 3).
+
+A star query aggregates measures of the fact table under exact-match
+predicates on hierarchy levels of one or more dimensions — the
+``1MONTH1GROUP`` pattern of the paper.  Multiple values per predicate
+(IN-lists) are supported; joins back to dimension tables for grouping
+are out of scope, as in the paper ("the associated processing cost is
+typically much smaller than for fact table processing").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.schema.dimension import AttributeRef
+from repro.schema.fact import StarSchema
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """An exact-match (or IN-list) predicate on one hierarchy level."""
+
+    attribute: AttributeRef
+    values: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("a predicate needs at least one value")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"duplicate predicate values: {self.values}")
+
+    @classmethod
+    def parse(cls, text: str, *values: int) -> "Predicate":
+        """``Predicate.parse("product::group", 17)``."""
+        return cls(AttributeRef.parse(text), tuple(values))
+
+    @property
+    def value_count(self) -> int:
+        return len(self.values)
+
+    def selectivity(self, schema: StarSchema) -> float:
+        """Fraction of fact rows matching, under uniformity."""
+        cardinality = schema.attribute_cardinality(self.attribute)
+        return len(self.values) / cardinality
+
+    def __str__(self) -> str:
+        if len(self.values) == 1:
+            return f"{self.attribute}={self.values[0]}"
+        return f"{self.attribute} IN {list(self.values)}"
+
+
+class StarQuery:
+    """An aggregation query over the fact table.
+
+    Args:
+        predicates: At most one predicate per dimension (as in the
+            paper's query types).
+        measures: Measures to aggregate; defaults to all at execution
+            time.
+        name: Optional label (``"1MONTH1GROUP"``) for reports.
+    """
+
+    def __init__(
+        self,
+        predicates: Iterable[Predicate],
+        measures: tuple[str, ...] = (),
+        name: str = "",
+    ):
+        preds = tuple(predicates)
+        dims = [p.attribute.dimension for p in preds]
+        if len(set(dims)) != len(dims):
+            raise ValueError(
+                f"at most one predicate per dimension, got dims {dims}"
+            )
+        self._predicates = preds
+        self._by_dimension = {p.attribute.dimension: p for p in preds}
+        self.measures = measures
+        self.name = name
+
+    @property
+    def predicates(self) -> tuple[Predicate, ...]:
+        return self._predicates
+
+    def dimensions(self) -> frozenset[str]:
+        """``Dim(Q)`` of the paper."""
+        return frozenset(self._by_dimension)
+
+    def predicate_for(self, dimension: str) -> Predicate | None:
+        return self._by_dimension.get(dimension)
+
+    def validate(self, schema: StarSchema) -> None:
+        """Check attributes exist and values are in range."""
+        for pred in self._predicates:
+            schema.resolve(pred.attribute)
+            cardinality = schema.attribute_cardinality(pred.attribute)
+            for value in pred.values:
+                if not 0 <= value < cardinality:
+                    raise ValueError(
+                        f"{pred}: value {value} out of range "
+                        f"[0, {cardinality})"
+                    )
+
+    def selectivity(self, schema: StarSchema) -> float:
+        """Combined selectivity under independent uniform dimensions."""
+        result = 1.0
+        for pred in self._predicates:
+            result *= pred.selectivity(schema)
+        return result
+
+    def expected_hits(self, schema: StarSchema) -> float:
+        """Expected number of matching fact rows."""
+        return schema.fact_count * self.selectivity(schema)
+
+    def __iter__(self) -> Iterator[Predicate]:
+        return iter(self._predicates)
+
+    def __str__(self) -> str:
+        label = self.name or "StarQuery"
+        preds = " AND ".join(str(p) for p in self._predicates) or "TRUE"
+        return f"{label}[{preds}]"
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A query *type*: fixed attributes, randomly chosen values.
+
+    The paper's generator issues queries "of the same type ... but
+    specific parameters are chosen at random (e.g., the actual STORE
+    selected)"; see :mod:`repro.workload`.
+    """
+
+    name: str
+    attributes: tuple[AttributeRef, ...]
+    values_per_attribute: tuple[int, ...] = field(default=())
+
+    def instantiate(self, schema: StarSchema, rng) -> StarQuery:
+        """Draw one concrete query, choosing values uniformly."""
+        counts = self.values_per_attribute or tuple(
+            1 for _ in self.attributes
+        )
+        predicates = []
+        for attr, count in zip(self.attributes, counts):
+            cardinality = schema.attribute_cardinality(attr)
+            values = rng.sample(range(cardinality), k=min(count, cardinality))
+            predicates.append(Predicate(attr, tuple(values)))
+        return StarQuery(predicates, name=self.name)

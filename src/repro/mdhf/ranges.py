@@ -1,0 +1,131 @@
+"""Range partitions: the general form of MDHF (Section 4.1).
+
+MDHF is defined over *disjoint value ranges* per fragmentation
+attribute; the paper then focuses on "point fragmentations" where every
+range holds exactly one value.  :class:`RangePartition` provides the
+general form: an ordered partition of an attribute's value domain
+``[0, cardinality)`` into contiguous ranges.
+
+Semantics under ranges differ from points in one important way: a
+fragment fixes its attribute only to a *range*, so exact-match
+predicates on the fragmentation attribute are no longer absorbed by the
+fragment choice (bitmap access and hierarchical-prefix elimination
+require single-value ranges).  The routing layer accounts for this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class RangePartition:
+    """A partition of ``[0, cardinality)`` into contiguous ranges.
+
+    ``bounds`` holds the inclusive lower bound of each range, starting
+    at 0 and strictly increasing; range ``i`` covers
+    ``[bounds[i], bounds[i+1])`` (the last range ends at
+    ``cardinality``).
+    """
+
+    cardinality: int
+    bounds: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.cardinality <= 0:
+            raise ValueError("cardinality must be positive")
+        if not self.bounds or self.bounds[0] != 0:
+            raise ValueError("bounds must start at 0")
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("bounds must be strictly increasing")
+        if self.bounds[-1] >= self.cardinality:
+            raise ValueError(
+                f"last bound {self.bounds[-1]} must be below the "
+                f"cardinality {self.cardinality}"
+            )
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def points(cls, cardinality: int) -> "RangePartition":
+        """The paper's point fragmentation: one value per range."""
+        return cls(cardinality, tuple(range(cardinality)))
+
+    @classmethod
+    def equal_width(cls, cardinality: int, n_ranges: int) -> "RangePartition":
+        """Split the domain into ``n_ranges`` near-equal ranges."""
+        if not 1 <= n_ranges <= cardinality:
+            raise ValueError(
+                f"n_ranges must be in [1, {cardinality}], got {n_ranges}"
+            )
+        bounds = tuple(
+            (i * cardinality) // n_ranges for i in range(n_ranges)
+        )
+        return cls(cardinality, bounds)
+
+    @classmethod
+    def from_bounds(cls, cardinality: int, bounds: Sequence[int]) -> "RangePartition":
+        return cls(cardinality, tuple(bounds))
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def n_ranges(self) -> int:
+        return len(self.bounds)
+
+    @property
+    def is_point(self) -> bool:
+        """True iff every range holds exactly one value."""
+        return self.n_ranges == self.cardinality
+
+    def range_of(self, value: int) -> int:
+        """Index of the range containing ``value`` (binary search)."""
+        if not 0 <= value < self.cardinality:
+            raise ValueError(
+                f"value {value} out of domain [0, {self.cardinality})"
+            )
+        lo, hi = 0, self.n_ranges - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.bounds[mid] <= value:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def values_of(self, range_index: int) -> range:
+        """The contiguous values covered by one range."""
+        if not 0 <= range_index < self.n_ranges:
+            raise ValueError(
+                f"range index {range_index} out of [0, {self.n_ranges})"
+            )
+        start = self.bounds[range_index]
+        stop = (
+            self.bounds[range_index + 1]
+            if range_index + 1 < self.n_ranges
+            else self.cardinality
+        )
+        return range(start, stop)
+
+    def width_of(self, range_index: int) -> int:
+        return len(self.values_of(range_index))
+
+    def ranges_covering(self, values: range) -> Iterator[int]:
+        """Indices of all ranges intersecting a contiguous value span."""
+        if len(values) == 0:
+            return
+        first = self.range_of(values.start)
+        last = self.range_of(values.stop - 1)
+        yield from range(first, last + 1)
+
+    def __len__(self) -> int:
+        return self.n_ranges
+
+    def __repr__(self) -> str:
+        if self.is_point:
+            return f"RangePartition.points({self.cardinality})"
+        return (
+            f"RangePartition(cardinality={self.cardinality}, "
+            f"ranges={self.n_ranges})"
+        )

@@ -1,0 +1,184 @@
+"""Fragmentation specifications (Section 4.1).
+
+A (point) fragmentation ``F = {f1, ..., fm}`` names one hierarchy level
+per participating dimension; a fact fragment holds all rows sharing one
+value per fragmentation attribute.  The *order* of the attributes is
+irrelevant for fragment contents but defines the logical fragment order
+used for disk placement (Figure 2), so :class:`Fragmentation` preserves
+it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Mapping
+
+from repro.mdhf.ranges import RangePartition
+from repro.schema.dimension import AttributeRef
+from repro.schema.fact import StarSchema
+
+
+class Fragmentation:
+    """An ordered multi-dimensional (point or range) fragmentation.
+
+    Construct from attribute references or the paper's string notation::
+
+        >>> f = Fragmentation.parse("time::month", "product::group")
+        >>> str(f)
+        'F{time::month, product::group}'
+
+    By default every attribute uses a *point* fragmentation (one value
+    per range — the paper's focus).  General MDHF range fragmentations
+    pass a :class:`~repro.mdhf.ranges.RangePartition` per dimension via
+    ``partitions``.
+    """
+
+    def __init__(
+        self,
+        attributes: Iterable[AttributeRef],
+        partitions: Mapping[str, RangePartition] | None = None,
+    ):
+        attrs = tuple(attributes)
+        if not attrs:
+            raise ValueError("a fragmentation needs at least one attribute")
+        dims = [a.dimension for a in attrs]
+        if len(set(dims)) != len(dims):
+            raise ValueError(
+                f"at most one fragmentation attribute per dimension: {dims}"
+            )
+        self._attributes = attrs
+        self._by_dimension = {a.dimension: a for a in attrs}
+        self._partitions: dict[str, RangePartition] = {}
+        for dimension, partition in (partitions or {}).items():
+            if dimension not in self._by_dimension:
+                raise ValueError(
+                    f"partition given for {dimension!r}, which is not a "
+                    f"fragmentation dimension of {dims}"
+                )
+            if not partition.is_point:
+                self._partitions[dimension] = partition
+
+    @classmethod
+    def parse(cls, *texts: str) -> "Fragmentation":
+        """Build from ``dimension::level`` strings."""
+        return cls(AttributeRef.parse(t) for t in texts)
+
+    @property
+    def attributes(self) -> tuple[AttributeRef, ...]:
+        """Fragmentation attributes in allocation order."""
+        return self._attributes
+
+    @property
+    def dimensionality(self) -> int:
+        return len(self._attributes)
+
+    def dimensions(self) -> frozenset[str]:
+        """``Dim(F)`` of the paper."""
+        return frozenset(self._by_dimension)
+
+    def covers(self, dimension: str) -> bool:
+        return dimension in self._by_dimension
+
+    def attribute_for(self, dimension: str) -> AttributeRef:
+        """The fragmentation attribute of ``dimension``."""
+        try:
+            return self._by_dimension[dimension]
+        except KeyError:
+            raise KeyError(
+                f"dimension {dimension!r} is not a fragmentation dimension "
+                f"of {self}"
+            ) from None
+
+    def level_for(self, dimension: str) -> str:
+        return self.attribute_for(dimension).level
+
+    def partition_for(self, dimension: str) -> RangePartition | None:
+        """The non-point range partition of a dimension, if any."""
+        return self._partitions.get(dimension)
+
+    def is_point_on(self, dimension: str) -> bool:
+        """True iff the dimension's axis is a point fragmentation."""
+        if not self.covers(dimension):
+            raise KeyError(
+                f"dimension {dimension!r} is not a fragmentation dimension"
+            )
+        return dimension not in self._partitions
+
+    def validate(self, schema: StarSchema) -> None:
+        """Check attributes exist and partitions match their domains."""
+        for attr in self._attributes:
+            schema.resolve(attr)
+            partition = self._partitions.get(attr.dimension)
+            if partition is not None:
+                cardinality = schema.attribute_cardinality(attr)
+                if partition.cardinality != cardinality:
+                    raise ValueError(
+                        f"partition for {attr} covers domain "
+                        f"{partition.cardinality}, attribute has "
+                        f"cardinality {cardinality}"
+                    )
+
+    def cardinalities(self, schema: StarSchema) -> tuple[int, ...]:
+        """Per-attribute cardinalities, in allocation order."""
+        return tuple(
+            schema.attribute_cardinality(attr) for attr in self._attributes
+        )
+
+    def axis_sizes(self, schema: StarSchema) -> tuple[int, ...]:
+        """Fragments per axis: range counts (= cardinalities for points)."""
+        sizes = []
+        for attr in self._attributes:
+            partition = self._partitions.get(attr.dimension)
+            if partition is not None:
+                sizes.append(partition.n_ranges)
+            else:
+                sizes.append(schema.attribute_cardinality(attr))
+        return tuple(sizes)
+
+    def fragment_count(self, schema: StarSchema) -> int:
+        """Number of fact fragments: product of the axis sizes."""
+        return math.prod(self.axis_sizes(schema))
+
+    def reordered(self, attribute_order: Iterable[str]) -> "Fragmentation":
+        """Same fragmentation with a different allocation order.
+
+        ``attribute_order`` lists the dimensions in the desired order;
+        used to study the gcd-clustering effect of Section 4.6.
+        """
+        order = list(attribute_order)
+        if sorted(order) != sorted(self._by_dimension):
+            raise ValueError(
+                f"order {order} must be a permutation of "
+                f"{sorted(self._by_dimension)}"
+            )
+        return Fragmentation(
+            (self._by_dimension[d] for d in order),
+            partitions=self._partitions,
+        )
+
+    def __iter__(self) -> Iterator[AttributeRef]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fragmentation):
+            return NotImplemented
+        return (
+            self._attributes == other._attributes
+            and self._partitions == other._partitions
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._attributes, tuple(sorted(self._partitions.items(),
+                                            key=lambda kv: kv[0])))
+        )
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self._attributes)
+        return f"F{{{inner}}}"
+
+    def __repr__(self) -> str:
+        return f"Fragmentation.parse({', '.join(repr(str(a)) for a in self)})"

@@ -1,0 +1,32 @@
+"""Star-schema substrate: hierarchies, dimensions, fact tables, APB-1.
+
+This package models the *logical* star schema of the paper (Section 3.1):
+dimension tables with strict value hierarchies (every child value has
+exactly one parent value) and a fact table whose rows reference the leaf
+level of every dimension.
+
+The full-scale APB-1 instance used in the paper's evaluation is built by
+:func:`repro.schema.apb1.apb1_schema`; scaled-down but structurally
+identical instances for runnable examples and tests come from
+:func:`repro.schema.apb1.tiny_schema` and
+:func:`repro.schema.datagen.generate_warehouse`.
+"""
+
+from repro.schema.hierarchy import Hierarchy, Level
+from repro.schema.dimension import AttributeRef, Dimension
+from repro.schema.fact import FactTable, StarSchema
+from repro.schema.apb1 import apb1_schema, tiny_schema
+from repro.schema.datagen import Warehouse, generate_warehouse
+
+__all__ = [
+    "Level",
+    "Hierarchy",
+    "Dimension",
+    "AttributeRef",
+    "FactTable",
+    "StarSchema",
+    "apb1_schema",
+    "tiny_schema",
+    "Warehouse",
+    "generate_warehouse",
+]

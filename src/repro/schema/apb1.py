@@ -1,0 +1,137 @@
+"""APB-1 star schema builders (Section 3.1, Figure 1, Table 1).
+
+The paper evaluates a 15-channel APB-1 configuration with density 25%:
+
+* PRODUCT: division(8) > line(24) > family(120) > group(480) > class(960)
+  > code(14,400); fan-outs 8, 3, 5, 4, 2, 15 (Table 1).
+* CUSTOMER: retailer(144) > store(1,440); 10 stores per retailer.
+* TIME: year(2) > quarter(8) > month(24).
+* CHANNEL: channel(15), a single-level hierarchy.
+* SALES fact table: 14,400 * 1,440 * 15 * 24 * 0.25 = 1,866,240,000 rows
+  of 20 bytes each.
+
+APB-1 scales the schema with the number of channels: codes and stores
+grow proportionally (960 resp. 96 per channel).  We keep the inner
+fan-outs of Table 1 fixed and scale only the leaf fan-outs, which
+reproduces the published configuration exactly for ``channels=15``.
+"""
+
+from __future__ import annotations
+
+from repro.schema.dimension import Dimension
+from repro.schema.fact import FactTable, StarSchema
+from repro.schema.hierarchy import Hierarchy
+
+#: Stores per retailer in APB-1 (fixed across scale factors).
+STORES_PER_RETAILER = 10
+#: Product codes per channel, stores per channel (APB-1 scaling rules).
+CODES_PER_CHANNEL = 960
+STORES_PER_CHANNEL = 96
+
+PRODUCT_LEVELS = ["division", "line", "family", "group", "class", "code"]
+#: Fan-outs above the code level, from Table 1 of the paper.
+PRODUCT_INNER_FANOUTS = [8, 3, 5, 4, 2]
+
+
+def apb1_schema(
+    channels: int = 15,
+    months: int = 24,
+    density: float = 0.25,
+    tuple_size_bytes: int = 20,
+) -> StarSchema:
+    """Build the APB-1 star schema used throughout the paper.
+
+    Args:
+        channels: Number of distribution channels (the APB-1 scale knob).
+            The paper uses 15.
+        months: Length of the time frame; APB-1 fixes 24.
+        density: Fraction of possible foreign-key combinations present in
+            the fact table; the paper uses 0.25.
+        tuple_size_bytes: Fact row size; the paper uses 20 B.
+
+    Returns:
+        A :class:`StarSchema` whose derived figures match Section 3.1 for
+        the default arguments (1,866,240,000 fact rows, etc.).
+    """
+    if channels < 1:
+        raise ValueError("channels must be >= 1")
+    if months % 12 != 0:
+        raise ValueError("months must cover whole years (multiples of 12)")
+
+    codes = CODES_PER_CHANNEL * channels
+    classes = 1
+    for fanout in PRODUCT_INNER_FANOUTS:
+        classes *= fanout
+    codes_per_class, remainder = divmod(codes, classes)
+    if remainder:
+        raise ValueError(
+            f"{channels} channels give {codes} codes, not divisible by "
+            f"{classes} classes; pick a channel count divisible by 2"
+        )
+    product = Hierarchy.from_fanouts(
+        PRODUCT_LEVELS, PRODUCT_INNER_FANOUTS + [codes_per_class]
+    )
+
+    stores = STORES_PER_CHANNEL * channels
+    retailers, remainder = divmod(stores, STORES_PER_RETAILER)
+    if remainder:
+        raise ValueError(
+            f"{stores} stores not divisible into retailers of "
+            f"{STORES_PER_RETAILER} stores each"
+        )
+    customer = Hierarchy.from_fanouts(
+        ["retailer", "store"], [retailers, STORES_PER_RETAILER]
+    )
+
+    years = months // 12
+    time = Hierarchy.from_fanouts(["year", "quarter", "month"], [years, 4, 3])
+
+    channel = Hierarchy.from_fanouts(["channel"], [channels])
+
+    fact = FactTable(
+        name="sales",
+        measures=("units_sold", "dollar_sales", "cost"),
+        density=density,
+        tuple_size_bytes=tuple_size_bytes,
+    )
+    return StarSchema(
+        fact,
+        [
+            Dimension("product", product),
+            Dimension("customer", customer),
+            Dimension("channel", channel),
+            Dimension("time", time),
+        ],
+    )
+
+
+def tiny_schema(density: float = 0.25, tuple_size_bytes: int = 20) -> StarSchema:
+    """A structurally identical but tiny star schema for tests/examples.
+
+    Same four dimensions and hierarchy shapes as APB-1, shrunk so that a
+    warehouse can be materialised in memory: 72 products, 20 stores,
+    2 channels, 12 months -> 34,560 combinations, 8,640 fact rows at the
+    default density.
+    """
+    product = Hierarchy.from_fanouts(
+        ["division", "line", "family", "group", "class", "code"],
+        [2, 3, 2, 2, 1, 3],
+    )
+    customer = Hierarchy.from_fanouts(["retailer", "store"], [4, 5])
+    time = Hierarchy.from_fanouts(["year", "quarter", "month"], [1, 4, 3])
+    channel = Hierarchy.from_fanouts(["channel"], [2])
+    fact = FactTable(
+        name="sales",
+        measures=("units_sold", "dollar_sales", "cost"),
+        density=density,
+        tuple_size_bytes=tuple_size_bytes,
+    )
+    return StarSchema(
+        fact,
+        [
+            Dimension("product", product),
+            Dimension("customer", customer),
+            Dimension("channel", channel),
+            Dimension("time", time),
+        ],
+    )

@@ -1,0 +1,107 @@
+"""Synthetic warehouse generator for runnable, scaled-down instances.
+
+The paper's experiments never materialise the 1.87-billion-row fact
+table — the simulator works on counts.  For the functional query engine
+(:mod:`repro.exec`), the examples and the property tests we *do* need
+concrete rows, so this module generates them for small schemas such as
+:func:`repro.schema.apb1.tiny_schema`.
+
+APB-1 semantics are preserved: the fact table holds ``density`` of all
+possible foreign-key combinations, each combination at most once, chosen
+uniformly at random (deterministic under a seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.schema.fact import StarSchema
+
+#: Refuse to materialise warehouses above this many rows; the analytic
+#: descriptors (StarSchema) serve the large-scale paths.
+MAX_MATERIALISED_ROWS = 5_000_000
+
+
+@dataclass
+class Warehouse:
+    """A materialised star-schema instance.
+
+    Attributes:
+        schema: The analytic schema the data conforms to.
+        keys: One int32 array of leaf foreign-key values per dimension,
+            keyed by dimension name; all arrays share the fact row order.
+        measures: One float64 array per measure, same row order.
+    """
+
+    schema: StarSchema
+    keys: dict[str, np.ndarray]
+    measures: dict[str, np.ndarray]
+
+    @property
+    def row_count(self) -> int:
+        first = next(iter(self.keys.values()))
+        return int(first.shape[0])
+
+    def column(self, dimension: str) -> np.ndarray:
+        """Leaf foreign-key column of one dimension."""
+        try:
+            return self.keys[dimension]
+        except KeyError:
+            raise KeyError(
+                f"no dimension {dimension!r}; available: {sorted(self.keys)}"
+            ) from None
+
+    def level_column(self, dimension: str, level: str) -> np.ndarray:
+        """Fact rows mapped to their ancestor value at ``level``.
+
+        Uses the contiguous-children property of the hierarchies: the
+        ancestor is an integer division of the leaf key.
+        """
+        hierarchy = self.schema.dimension(dimension).hierarchy
+        width = hierarchy.leaves_per_value(level)
+        return self.column(dimension) // width
+
+    def measure(self, name: str) -> np.ndarray:
+        try:
+            return self.measures[name]
+        except KeyError:
+            raise KeyError(
+                f"no measure {name!r}; available: {sorted(self.measures)}"
+            ) from None
+
+
+def generate_warehouse(schema: StarSchema, seed: int = 0) -> Warehouse:
+    """Materialise a warehouse for ``schema``.
+
+    Rows are a uniform, seed-deterministic sample (without replacement)
+    of the foreign-key combination space, of size ``schema.fact_count``.
+
+    Raises:
+        ValueError: If the schema is too large to materialise; use the
+            analytic paths (cost model / simulator) for full-scale APB-1.
+    """
+    n_rows = schema.fact_count
+    if n_rows > MAX_MATERIALISED_ROWS:
+        raise ValueError(
+            f"refusing to materialise {n_rows:,} rows "
+            f"(limit {MAX_MATERIALISED_ROWS:,}); use the analytic model"
+        )
+    rng = np.random.default_rng(seed)
+    combos = schema.combination_count
+    # Sample distinct linear combination indices, then decode mixed-radix.
+    linear = rng.choice(combos, size=n_rows, replace=False)
+    rng.shuffle(linear)  # avoid the sorted order `choice` can exhibit
+
+    keys: dict[str, np.ndarray] = {}
+    remainder = linear
+    for dim in reversed(schema.dimensions):
+        keys[dim.name] = (remainder % dim.cardinality).astype(np.int32)
+        remainder = remainder // dim.cardinality
+
+    measures = {
+        name: np.round(rng.uniform(1.0, 1000.0, size=n_rows), 2)
+        for name in schema.fact.measures
+    }
+    return Warehouse(schema=schema, keys=keys, measures=measures)

@@ -1,0 +1,68 @@
+"""Dimensions and attribute references.
+
+A dimension is a named hierarchy; fact rows carry a foreign key to its
+leaf level.  Attributes anywhere in a hierarchy are referenced in the
+paper's ``Dimension::Hierarchy-level`` notation (Section 4.1), e.g.
+``product::group``; :class:`AttributeRef` is the parsed form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schema.hierarchy import Hierarchy, Level
+
+
+@dataclass(frozen=True)
+class AttributeRef:
+    """A reference to one hierarchy level of one dimension."""
+
+    dimension: str
+    level: str
+
+    @classmethod
+    def parse(cls, text: str) -> "AttributeRef":
+        """Parse the paper's ``dimension::level`` notation."""
+        parts = text.split("::")
+        if len(parts) != 2 or not parts[0] or not parts[1]:
+            raise ValueError(f"expected 'dimension::level', got {text!r}")
+        return cls(dimension=parts[0], level=parts[1])
+
+    def __str__(self) -> str:
+        return f"{self.dimension}::{self.level}"
+
+
+class Dimension:
+    """A named, hierarchically structured dimension table.
+
+    The relational details of the (denormalised) dimension table are not
+    modelled: the paper notes dimension tables occupy ~1 MB in total and
+    play no role in the allocation problem (Section 4).  What matters is
+    the hierarchy structure and the leaf cardinality.
+    """
+
+    def __init__(self, name: str, hierarchy: Hierarchy):
+        if not name:
+            raise ValueError("dimension name must be non-empty")
+        self.name = name
+        self.hierarchy = hierarchy
+
+    @property
+    def leaf(self) -> Level:
+        return self.hierarchy.leaf
+
+    @property
+    def cardinality(self) -> int:
+        """Leaf cardinality — the number of distinct foreign-key values."""
+        return self.hierarchy.leaf.cardinality
+
+    def level(self, name: str) -> Level:
+        return self.hierarchy.level(name)
+
+    def attribute(self, level_name: str) -> AttributeRef:
+        """Build an :class:`AttributeRef` for a level of this dimension."""
+        self.hierarchy.level(level_name)  # validates the name
+        return AttributeRef(self.name, level_name)
+
+    def __repr__(self) -> str:
+        return f"Dimension({self.name!r}, {self.hierarchy!r})"

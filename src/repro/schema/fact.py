@@ -1,0 +1,142 @@
+"""Fact-table descriptor and the star schema container.
+
+The fact table is described analytically: its cardinality follows from
+the dimension leaf cardinalities and a *density* factor (the fraction of
+possible foreign-key combinations that actually occur), exactly as APB-1
+defines it (Section 3.1: density 25% -> 1,866,240,000 rows for the
+15-channel configuration).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.schema.dimension import AttributeRef, Dimension
+
+
+@dataclass(frozen=True)
+class FactTable:
+    """Analytic descriptor of the fact table.
+
+    Attributes:
+        name: Table name (``"sales"`` for APB-1).
+        measures: Names of the measuring attributes (UnitsSold, ...).
+        density: Fraction of possible dimension-value combinations present.
+        tuple_size_bytes: Physical row size; the paper uses 20 B.
+    """
+
+    name: str
+    measures: tuple[str, ...]
+    density: float
+    tuple_size_bytes: int = 20
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.density <= 1.0:
+            raise ValueError(f"density must be in (0, 1], got {self.density}")
+        if self.tuple_size_bytes <= 0:
+            raise ValueError("tuple_size_bytes must be positive")
+
+
+class StarSchema:
+    """A star schema: one fact table plus its dimensions.
+
+    This is the root object handed to every other subsystem (bitmap
+    sizing, MDHF, cost model, simulator).
+    """
+
+    def __init__(self, fact: FactTable, dimensions: Sequence[Dimension]):
+        if not dimensions:
+            raise ValueError("a star schema needs at least one dimension")
+        names = [d.name for d in dimensions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate dimension names: {names}")
+        self.fact = fact
+        self.dimensions = tuple(dimensions)
+        self._by_name: Mapping[str, Dimension] = {d.name: d for d in dimensions}
+
+    def dimension(self, name: str) -> Dimension:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no dimension {name!r}; available: {sorted(self._by_name)}"
+            ) from None
+
+    def dimension_names(self) -> tuple[str, ...]:
+        return tuple(d.name for d in self.dimensions)
+
+    def resolve(self, attr: AttributeRef | str) -> AttributeRef:
+        """Validate an attribute reference against this schema."""
+        if isinstance(attr, str):
+            attr = AttributeRef.parse(attr)
+        dim = self.dimension(attr.dimension)
+        dim.hierarchy.level(attr.level)  # raises if unknown
+        return attr
+
+    def attribute_cardinality(self, attr: AttributeRef | str) -> int:
+        attr = self.resolve(attr)
+        return self.dimension(attr.dimension).level(attr.level).cardinality
+
+    @property
+    def combination_count(self) -> int:
+        """Number of possible foreign-key combinations."""
+        return math.prod(d.cardinality for d in self.dimensions)
+
+    @property
+    def fact_count(self) -> int:
+        """Number of fact rows: density applied to the combination space."""
+        return round(self.combination_count * self.fact.density)
+
+    @property
+    def fact_bytes(self) -> int:
+        return self.fact_count * self.fact.tuple_size_bytes
+
+    def fact_pages(self, page_size: int) -> int:
+        """Number of pages occupied by the fact table.
+
+        The paper packs whole tuples into pages (``floor(PgSize / 20)``
+        tuples per page); partial last pages are rounded up.
+        """
+        per_page = self.tuples_per_page(page_size)
+        return math.ceil(self.fact_count / per_page)
+
+    def tuples_per_page(self, page_size: int) -> int:
+        per_page = page_size // self.fact.tuple_size_bytes
+        if per_page == 0:
+            raise ValueError(
+                f"page size {page_size} smaller than one fact tuple "
+                f"({self.fact.tuple_size_bytes} B)"
+            )
+        return per_page
+
+    def __repr__(self) -> str:
+        dims = ", ".join(
+            f"{d.name}({d.cardinality})" for d in self.dimensions
+        )
+        return (
+            f"StarSchema({self.fact.name!r}, facts={self.fact_count:,}, "
+            f"dims=[{dims}])"
+        )
+
+
+@dataclass(frozen=True)
+class SchemaStatistics:
+    """Summary figures for reports and sanity checks."""
+
+    fact_count: int
+    combination_count: int
+    fact_bytes: int
+    dimension_cardinalities: Mapping[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, schema: StarSchema) -> "SchemaStatistics":
+        return cls(
+            fact_count=schema.fact_count,
+            combination_count=schema.combination_count,
+            fact_bytes=schema.fact_bytes,
+            dimension_cardinalities={
+                d.name: d.cardinality for d in schema.dimensions
+            },
+        )

@@ -1,0 +1,167 @@
+"""Dimension hierarchies with uniform fan-out.
+
+The paper's star schema (APB-1, Section 3.1) assumes strict hierarchies:
+every value of a level belongs to exactly one value of the parent level,
+and the benchmark fixes the number of children per parent ("#elements
+within parent" in Table 1).  A level value is identified by its ordinal
+index ``0 .. cardinality-1``; the children of parent value ``v`` at the
+next level are the contiguous index range ``[v * fanout, (v+1) * fanout)``.
+
+This contiguity is what makes point fragmentations on an inner level act
+as *range* fragmentations on all lower levels (Section 4.1), which in turn
+is what lets MDHF confine queries on lower- and higher-level attributes to
+few fragments (query classes Q2/Q3, Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class Level:
+    """One level of a dimension hierarchy.
+
+    Attributes:
+        name: Level (attribute) name, e.g. ``"group"``.
+        cardinality: Total number of distinct values at this level.
+        fanout: Number of values per parent value (equals ``cardinality``
+            for the root level).
+    """
+
+    name: str
+    cardinality: int
+    fanout: int
+
+    def __post_init__(self) -> None:
+        if self.cardinality <= 0:
+            raise ValueError(f"level {self.name!r}: cardinality must be positive")
+        if self.fanout <= 0:
+            raise ValueError(f"level {self.name!r}: fanout must be positive")
+
+
+class Hierarchy:
+    """An ordered list of levels from coarsest (root) to finest (leaf).
+
+    Built from per-level fan-outs, mirroring Table 1 of the paper::
+
+        >>> product = Hierarchy.from_fanouts(
+        ...     ["division", "line", "family", "group", "class", "code"],
+        ...     [8, 3, 5, 4, 2, 15])
+        >>> [lvl.cardinality for lvl in product.levels]
+        [8, 24, 120, 480, 960, 14400]
+    """
+
+    def __init__(self, levels: Sequence[Level]):
+        if not levels:
+            raise ValueError("a hierarchy needs at least one level")
+        names = [lvl.name for lvl in levels]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate level names in hierarchy: {names}")
+        expected = 1
+        for lvl in levels:
+            expected *= lvl.fanout
+            if lvl.cardinality != expected:
+                raise ValueError(
+                    f"level {lvl.name!r}: cardinality {lvl.cardinality} "
+                    f"inconsistent with cumulative fanout {expected}"
+                )
+        self._levels = tuple(levels)
+        self._index = {lvl.name: i for i, lvl in enumerate(levels)}
+
+    @classmethod
+    def from_fanouts(cls, names: Sequence[str], fanouts: Sequence[int]) -> "Hierarchy":
+        """Build a hierarchy from level names and per-level fan-outs."""
+        if len(names) != len(fanouts):
+            raise ValueError("names and fanouts must have the same length")
+        levels = []
+        cardinality = 1
+        for name, fanout in zip(names, fanouts):
+            cardinality *= fanout
+            levels.append(Level(name=name, cardinality=cardinality, fanout=fanout))
+        return cls(levels)
+
+    @property
+    def levels(self) -> tuple[Level, ...]:
+        return self._levels
+
+    @property
+    def leaf(self) -> Level:
+        """The finest level; fact rows reference this one."""
+        return self._levels[-1]
+
+    @property
+    def root(self) -> Level:
+        return self._levels[0]
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def __iter__(self) -> Iterator[Level]:
+        return iter(self._levels)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def level(self, name: str) -> Level:
+        """Return the level called ``name``."""
+        try:
+            return self._levels[self._index[name]]
+        except KeyError:
+            raise KeyError(
+                f"no level {name!r}; available: {[l.name for l in self._levels]}"
+            ) from None
+
+    def depth(self, name: str) -> int:
+        """0-based position of a level, root = 0."""
+        if name not in self._index:
+            raise KeyError(f"no level {name!r}")
+        return self._index[name]
+
+    def is_above(self, name: str, other: str) -> bool:
+        """True if level ``name`` is strictly coarser than level ``other``."""
+        return self.depth(name) < self.depth(other)
+
+    def leaves_per_value(self, name: str) -> int:
+        """Number of leaf values under one value of level ``name``."""
+        return self.leaf.cardinality // self.level(name).cardinality
+
+    def leaf_range(self, name: str, value: int) -> range:
+        """The contiguous leaf-index range covered by ``value`` at ``name``."""
+        self._check_value(name, value)
+        width = self.leaves_per_value(name)
+        return range(value * width, (value + 1) * width)
+
+    def ancestor(self, leaf_value: int, name: str) -> int:
+        """Map a leaf value to its ancestor value at level ``name``."""
+        self._check_value(self.leaf.name, leaf_value)
+        return leaf_value // self.leaves_per_value(name)
+
+    def project(self, from_level: str, value: int, to_level: str) -> range:
+        """Values at ``to_level`` related to ``value`` at ``from_level``.
+
+        If ``to_level`` is coarser the result is the single ancestor value;
+        if finer, the contiguous range of descendant values.
+        """
+        self._check_value(from_level, value)
+        d_from, d_to = self.depth(from_level), self.depth(to_level)
+        ratio_from = self.leaves_per_value(from_level)
+        ratio_to = self.leaves_per_value(to_level)
+        if d_to <= d_from:  # coarser or same: exactly one related value
+            ancestor = (value * ratio_from) // ratio_to
+            return range(ancestor, ancestor + 1)
+        width = ratio_from // ratio_to  # descendants per value
+        return range(value * width, (value + 1) * width)
+
+    def _check_value(self, name: str, value: int) -> None:
+        cardinality = self.level(name).cardinality
+        if not 0 <= value < cardinality:
+            raise ValueError(
+                f"value {value} out of range for level {name!r} "
+                f"(cardinality {cardinality})"
+            )
+
+    def __repr__(self) -> str:
+        chain = " > ".join(f"{l.name}({l.cardinality})" for l in self._levels)
+        return f"Hierarchy({chain})"

@@ -1,0 +1,35 @@
+"""SIMPAD-equivalent simulator of a Shared Disk PDBS (Section 5).
+
+The original SIMPAD is C++ on the commercial CSIM library; this package
+rebuilds the parts the paper describes and parameterises (Table 4):
+
+* a process-based discrete-event engine (:mod:`repro.sim.engine`),
+* disks as explicit FIFO servers with track-position-dependent seek
+  times (:mod:`repro.sim.disk`),
+* processing nodes as FIFO CPU servers with per-step instruction costs
+  (:mod:`repro.sim.cpu`),
+* an idealised contention-free network with size-proportional delays
+  (:mod:`repro.sim.network`),
+* an LRU buffer manager with prefetch and separate pools for tables and
+  indices (:mod:`repro.sim.buffer`),
+* the coordinator/subquery scheduling of Section 5 with at most ``t``
+  concurrent tasks per node (:mod:`repro.sim.scheduler`), and
+* the top-level :class:`ParallelWarehouseSimulator` tying the star
+  schema, fragmentation, allocation and workload together.
+"""
+
+from repro.sim.config import HardwareParameters, SimulationParameters
+from repro.sim.engine import AllOf, Environment, Event
+from repro.sim.metrics import QueryMetrics, SimulationResult
+from repro.sim.simulator import ParallelWarehouseSimulator
+
+__all__ = [
+    "Environment",
+    "Event",
+    "AllOf",
+    "HardwareParameters",
+    "SimulationParameters",
+    "QueryMetrics",
+    "SimulationResult",
+    "ParallelWarehouseSimulator",
+]

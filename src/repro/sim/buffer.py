@@ -1,0 +1,78 @@
+"""Buffer manager: LRU pools with prefetch-granule residency.
+
+"A simple buffer manager is used supporting LRU page replacement and
+prefetching.  We maintain separate buffers for tables and indices"
+(Section 5; pool sizes from Table 4: 1,000 fact pages, 5,000 bitmap
+pages per node).
+
+Residency is tracked at the granularity the I/O operates in — whole
+prefetch extents — keyed by (disk, start page).  An extent counts with
+its page count against the pool capacity and is evicted LRU-wise.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import BufferParameters
+
+
+class BufferPool:
+    """One LRU pool with a page-count capacity."""
+
+    def __init__(self, capacity_pages: int, name: str = ""):
+        if capacity_pages < 0:
+            raise ValueError("capacity_pages must be non-negative")
+        self.capacity_pages = capacity_pages
+        self.name = name
+        self._entries: dict[tuple[int, int], int] = {}
+        self._used_pages = 0
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, disk: int, start_page: int) -> bool:
+        """Check residency of an extent; refreshes LRU position on hit."""
+        key = (disk, start_page)
+        pages = self._entries.get(key)
+        if pages is None:
+            self.misses += 1
+            return False
+        # dicts preserve insertion order: re-insert to mark most recent.
+        del self._entries[key]
+        self._entries[key] = pages
+        self.hits += 1
+        return True
+
+    def insert(self, disk: int, start_page: int, pages: int) -> None:
+        """Cache an extent, evicting least-recently-used ones as needed."""
+        if pages <= 0:
+            raise ValueError("pages must be positive")
+        if pages > self.capacity_pages:
+            return  # larger than the whole pool: bypass
+        key = (disk, start_page)
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._used_pages -= old
+        while self._used_pages + pages > self.capacity_pages:
+            victim_key = next(iter(self._entries))
+            self._used_pages -= self._entries.pop(victim_key)
+        self._entries[key] = pages
+        self._used_pages += pages
+
+    @property
+    def used_pages(self) -> int:
+        return self._used_pages
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class BufferManager:
+    """Per-node buffer manager: separate fact and bitmap pools."""
+
+    def __init__(self, params: BufferParameters):
+        self.fact = BufferPool(params.fact_buffer_pages, name="fact")
+        self.bitmap = BufferPool(params.bitmap_buffer_pages, name="bitmap")
+
+    def pool(self, is_bitmap: bool) -> BufferPool:
+        return self.bitmap if is_bitmap else self.fact

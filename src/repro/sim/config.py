@@ -1,0 +1,140 @@
+"""Simulation parameters (Table 4 of the paper).
+
+Every default below is taken verbatim from Table 4; the handful of
+implementation knobs that the paper does not parameterise (disk capacity
+behind the track model, I/O coalescing for event-count control) are
+grouped at the end and documented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DiskParameters:
+    """Disk device timing (Table 4, left column)."""
+
+    avg_seek_ms: float = 10.0
+    settle_controller_ms: float = 3.0
+    per_page_ms: float = 1.0
+    #: Pages a disk can hold; defines the track span behind the
+    #: position-dependent seek model (not in Table 4; 4 GB of 4 KB pages).
+    capacity_pages: int = 1_048_576
+    #: Pages per track for the seek-distance model.
+    pages_per_track: int = 64
+
+
+@dataclass(frozen=True)
+class CpuCosts:
+    """Instruction counts per operation (Table 4, middle column)."""
+
+    initiate_query: int = 50_000
+    terminate_query: int = 10_000
+    initiate_subquery: int = 10_000
+    terminate_subquery: int = 10_000
+    read_page: int = 3_000
+    process_bitmap_page: int = 1_500
+    extract_table_row: int = 100
+    aggregate_table_row: int = 100
+    send_message_base: int = 1_000
+    receive_message_base: int = 1_000
+    #: Instructions per message byte on top of the base cost.
+    per_message_byte: int = 1
+
+
+@dataclass(frozen=True)
+class NetworkParameters:
+    """Idealised contention-free network (Table 4, right column)."""
+
+    bandwidth_bits_per_s: float = 100e6
+    small_message_bytes: int = 128
+    large_message_bytes: int = 4096
+
+
+@dataclass(frozen=True)
+class BufferParameters:
+    """Buffer manager settings (Table 4, right column)."""
+
+    page_size: int = 4096
+    fact_buffer_pages: int = 1_000
+    bitmap_buffer_pages: int = 5_000
+    prefetch_fact_pages: int = 8
+    prefetch_bitmap_pages: int = 5
+    #: Table 6 marks the bitmap granule "(var.)": it shrinks to the
+    #: bitmap-fragment size when fragments are smaller than the granule.
+    adaptive_bitmap_prefetch: bool = True
+
+
+@dataclass(frozen=True)
+class HardwareParameters:
+    """Machine configuration: varied per experiment (Tables 4 and 5)."""
+
+    n_disks: int = 100
+    n_nodes: int = 20
+    cpu_mips: float = 50.0
+    #: Maximum concurrent subqueries per node ("t"); the coordinator
+    #: node runs t-1 because coordination counts as one task.
+    subqueries_per_node: int = 4
+
+
+@dataclass(frozen=True)
+class SimulationParameters:
+    """Everything a simulation run needs besides schema and workload."""
+
+    hardware: HardwareParameters = field(default_factory=HardwareParameters)
+    disk: DiskParameters = field(default_factory=DiskParameters)
+    cpu_costs: CpuCosts = field(default_factory=CpuCosts)
+    network: NetworkParameters = field(default_factory=NetworkParameters)
+    buffer: BufferParameters = field(default_factory=BufferParameters)
+
+    #: Subqueries read bitmap fragments of one fact fragment in parallel
+    #: (Section 6.2's default); False serialises them for the ablation.
+    parallel_bitmap_io: bool = True
+    #: Staggered round robin (Figure 2): bitmap fragments of one fact
+    #: fragment go to consecutive distinct disks.  False co-locates them,
+    #: which makes parallel bitmap I/O ineffective.
+    staggered_allocation: bool = True
+    #: "round_robin" (paper default) or "gap" — Section 4.6's shifted
+    #: scheme that avoids gcd clustering for stride-structured queries.
+    allocation_scheme: str = "round_robin"
+    #: Section 6.3's remedy for over-fine fragmentations: this many
+    #: consecutive fragments form one allocation/subquery unit whose
+    #: sub-page bitmap fragments pack into whole pages.
+    cluster_factor: int = 1
+    #: Zipf exponent for data skew across fragments (Section 7 future
+    #: work): 0 = the paper's uniform distribution; larger values make
+    #: some fragments hold disproportionately many fact rows, stressing
+    #: the load balancing.  Fragment ranks are permuted by `seed` so the
+    #: skew does not align with the allocation order.
+    data_skew: float = 0.0
+    #: Merge up to this many consecutive same-disk granule reads of one
+    #: subquery into a single disk request (service time is the sum of
+    #: the individual services, so aggregate utilisation is unchanged).
+    #: Purely an event-count control; 1 = fully faithful.
+    io_coalesce: int = 1
+    #: Optional global cap on concurrent subqueries across all nodes
+    #: (the "degree of parallelism" axis of Figure 6); None = only the
+    #: per-node limit applies.
+    max_concurrent_subqueries: int | None = None
+    #: Seed for the (small) stochastic choices: coordinator node and
+    #: query parameter selection.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hardware.n_disks < 1 or self.hardware.n_nodes < 1:
+            raise ValueError("need at least one disk and one node")
+        if self.hardware.subqueries_per_node < 1:
+            raise ValueError("subqueries_per_node must be >= 1")
+        if self.io_coalesce < 1:
+            raise ValueError("io_coalesce must be >= 1")
+        if self.cluster_factor < 1:
+            raise ValueError("cluster_factor must be >= 1")
+        if self.data_skew < 0:
+            raise ValueError("data_skew must be non-negative")
+
+    def with_hardware(self, **kwargs) -> "SimulationParameters":
+        """A copy with hardware fields replaced (d, p, t sweeps)."""
+        from dataclasses import replace
+
+        return replace(self, hardware=replace(self.hardware, **kwargs))

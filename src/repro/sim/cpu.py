@@ -1,0 +1,32 @@
+"""Processing nodes: FIFO CPU servers with instruction accounting.
+
+"CPU overhead is accounted for in all major query processing steps and
+communication" (Section 5).  Every processing step submits its Table 4
+instruction count; the node serves requests FIFO at ``cpu_mips`` million
+instructions per second.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import FifoServer
+
+
+class ProcessingNode(FifoServer):
+    """One Shared Disk processing node's CPU."""
+
+    def __init__(self, env: Environment, node_id: int, cpu_mips: float):
+        super().__init__(env, name=f"node{node_id}")
+        if cpu_mips <= 0:
+            raise ValueError("cpu_mips must be positive")
+        self.node_id = node_id
+        self.cpu_mips = cpu_mips
+        self.instructions = 0
+
+    def compute(self, instructions: float) -> Event:
+        """Execute ``instructions`` on this node's CPU (FIFO-queued)."""
+        if instructions < 0:
+            raise ValueError("instructions must be non-negative")
+        self.instructions += int(instructions)
+        seconds = instructions / (self.cpu_mips * 1e6)
+        return self.submit(lambda: seconds)

@@ -1,0 +1,447 @@
+"""Physical database model: from query plans to subquery work units.
+
+Combines the fragment geometry, bitmap elimination and disk allocation
+into the simulator's view of the database, and expands a routed
+:class:`~repro.mdhf.routing.QueryPlan` into one
+:class:`SubqueryWork` per selected fragment — the unit the scheduler
+assigns to processing nodes (Section 4.3, step 3).
+
+Expected fractional quantities (hits per fragment, hit granules) are
+spread over the fragment sequence with an error-diffusing integeriser so
+that totals match the analytic model exactly without RNG noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.allocation.placement import DiskAllocation
+from repro.bitmap.catalog import IndexCatalog
+from repro.costmodel.estimator import cardenas, distinct_blocks
+from repro.mdhf.elimination import eliminate_bitmaps
+from repro.mdhf.fragments import FragmentGeometry
+from repro.mdhf.query import StarQuery
+from repro.mdhf.routing import QueryPlan, plan_query
+from repro.mdhf.spec import Fragmentation
+from repro.schema.fact import StarSchema
+from repro.sim.config import SimulationParameters
+
+
+@dataclass
+class SubqueryWork:
+    """Everything one subquery (one fact fragment or cluster) must do."""
+
+    fragment_id: int
+    fact_disk: int
+    #: Page extents (start, pages) to read from the fact fragment.
+    fact_extents: list[tuple[int, int]]
+    fact_pages: int
+    #: One (disk, extents) entry per bitmap fragment to read.
+    bitmap_reads: list[tuple[int, list[tuple[int, int]]]]
+    bitmap_pages: int
+    #: Rows this subquery extracts and aggregates.
+    relevant_rows: int
+    #: Fact fragments covered (> 1 under Section 6.3 clustering).
+    fragment_count: int = 1
+
+
+class _Spreader:
+    """Integerise a constant per-item rate without drift.
+
+    Emits integers whose running sum tracks ``rate * items_emitted``
+    (Bresenham-style), so 112.5 hits/fragment alternates 112/113.
+    """
+
+    def __init__(self, rate: float):
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        self._rate = rate
+        self._emitted = 0
+        self._count = 0
+
+    def next(self) -> int:
+        self._count += 1
+        target = math.floor(self._rate * self._count + 1e-9)
+        value = target - self._emitted
+        self._emitted = target
+        return value
+
+
+class SimulatedDatabase:
+    """The allocated star schema as seen by the simulator."""
+
+    def __init__(
+        self,
+        schema: StarSchema,
+        fragmentation: Fragmentation,
+        params: SimulationParameters,
+        catalog: IndexCatalog | None = None,
+        staggered: bool = True,
+    ):
+        self.schema = schema
+        self.fragmentation = fragmentation
+        self.params = params
+        self.catalog = catalog if catalog is not None else IndexCatalog(schema)
+        self.geometry = FragmentGeometry(schema, fragmentation)
+        self.elimination = eliminate_bitmaps(self.catalog, fragmentation)
+        self._tuples_per_page = schema.tuples_per_page(params.buffer.page_size)
+        self._tuples_per_fragment = schema.fact_count / self.geometry.fragment_count
+
+        if params.data_skew > 0 and params.cluster_factor > 1:
+            raise ValueError(
+                "data_skew and cluster_factor cannot be combined (yet)"
+            )
+        self._skew_tuples = (
+            self._skewed_fragment_tuples() if params.data_skew > 0 else None
+        )
+        fact_override = bitmap_override = None
+        if self._skew_tuples is not None:
+            largest = int(self._skew_tuples.max())
+            fact_override = math.ceil(largest / self._tuples_per_page)
+            bitmap_override = max(
+                1, math.ceil(largest / 8 / params.buffer.page_size)
+            )
+        self.allocation = DiskAllocation(
+            geometry=self.geometry,
+            n_disks=params.hardware.n_disks,
+            kept_bitmaps=self.elimination.total_kept,
+            page_size=params.buffer.page_size,
+            staggered=staggered,
+            scheme=params.allocation_scheme,
+            cluster_factor=params.cluster_factor,
+            fact_fragment_pages=fact_override,
+            bitmap_fragment_pages=bitmap_override,
+        )
+
+    # -- planning -----------------------------------------------------------
+
+    def plan(self, query: StarQuery) -> QueryPlan:
+        return plan_query(query, self.fragmentation, self.schema, self.catalog)
+
+    # -- geometry helpers ------------------------------------------------------
+
+    @property
+    def fact_pages_per_fragment(self) -> int:
+        return self.allocation.fact_pages_per_fragment
+
+    def _bitmap_granule(self) -> int:
+        buffer = self.params.buffer
+        if not buffer.adaptive_bitmap_prefetch:
+            return buffer.prefetch_bitmap_pages
+        raw = self._tuples_per_fragment / 8 / buffer.page_size
+        return max(1, min(buffer.prefetch_bitmap_pages, math.ceil(raw)))
+
+    def _bitmap_extents(self, placement) -> list[tuple[int, int]]:
+        granule = self._bitmap_granule()
+        extents = []
+        offset = 0
+        while offset < placement.pages:
+            pages = min(granule, placement.pages - offset)
+            extents.append((placement.start_page + offset, pages))
+            offset += pages
+        return extents
+
+    # -- work expansion ---------------------------------------------------------
+
+    def iter_subquery_work(self, plan: QueryPlan) -> Iterator[SubqueryWork]:
+        """Lazily expand a plan into per-fragment subquery work units.
+
+        Yields in fragment-allocation order, matching the paper's task
+        list ("sorted in the order in which the fragments were allocated
+        to disks, so that consecutive subqueries can be expected to
+        access different disks").  With ``cluster_factor > 1`` the unit
+        becomes a cluster of consecutive fragments (Section 6.3).
+        """
+        if self.params.cluster_factor > 1:
+            yield from self._iter_clustered_work(plan)
+            return
+        if self._skew_tuples is not None:
+            yield from self._iter_skewed_work(plan)
+            return
+        buffer = self.params.buffer
+        prefetch = buffer.prefetch_fact_pages
+        pages_per_fragment = self.fact_pages_per_fragment
+        granules_per_fragment = math.ceil(pages_per_fragment / prefetch)
+
+        hit_spreader = _Spreader(plan.hits_per_fragment)
+        if plan.all_rows_relevant:
+            granule_spreader = None
+        else:
+            hit_pages = distinct_blocks(
+                round(self._tuples_per_fragment),
+                self._tuples_per_page,
+                plan.hits_per_fragment,
+            )
+            hit_granules = min(
+                float(granules_per_fragment),
+                cardenas(granules_per_fragment, hit_pages),
+            )
+            granule_spreader = _Spreader(hit_granules)
+
+        n_bitmaps = plan.bitmaps_per_fragment
+        for fragment_id in plan.iter_fragment_ids(self.geometry):
+            fact = self.allocation.fact_placement(fragment_id)
+            relevant = hit_spreader.next()
+
+            if granule_spreader is None:
+                extents = self._sequential_extents(
+                    fact.start_page, pages_per_fragment, prefetch
+                )
+            else:
+                count = granule_spreader.next()
+                extents = self._spread_extents(
+                    fact.start_page,
+                    pages_per_fragment,
+                    prefetch,
+                    granules_per_fragment,
+                    count,
+                )
+
+            bitmap_reads = []
+            bitmap_pages = 0
+            for bitmap_index in range(n_bitmaps):
+                placement = self.allocation.bitmap_placement(
+                    bitmap_index, fragment_id
+                )
+                bitmap_reads.append(
+                    (placement.disk, self._bitmap_extents(placement))
+                )
+                bitmap_pages += placement.pages
+
+            yield SubqueryWork(
+                fragment_id=fragment_id,
+                fact_disk=fact.disk,
+                fact_extents=extents,
+                fact_pages=sum(pages for _, pages in extents),
+                bitmap_reads=bitmap_reads,
+                bitmap_pages=bitmap_pages,
+                relevant_rows=relevant,
+            )
+
+    #: Refuse to materialise per-fragment skew arrays beyond this size.
+    _SKEW_FRAGMENT_LIMIT = 5_000_000
+
+    def _skewed_fragment_tuples(self):
+        """Zipf-distributed tuples per fragment (deterministic in seed).
+
+        Rank ``r`` gets weight ``1 / r^theta``; ranks are randomly
+        permuted over fragment ids so the skew does not correlate with
+        the allocation order.  Totals are normalised to the schema's
+        fact count.
+        """
+        import numpy as np
+
+        n = self.geometry.fragment_count
+        if n > self._SKEW_FRAGMENT_LIMIT:
+            raise ValueError(
+                f"data_skew unsupported beyond {self._SKEW_FRAGMENT_LIMIT:,} "
+                f"fragments (got {n:,})"
+            )
+        theta = self.params.data_skew
+        rng = np.random.default_rng(self.params.seed)
+        ranks = rng.permutation(n) + 1
+        weights = ranks.astype(np.float64) ** -theta
+        weights *= self.schema.fact_count / weights.sum()
+        tuples = np.floor(weights).astype(np.int64)
+        # Distribute the rounding remainder over the largest fragments.
+        deficit = self.schema.fact_count - int(tuples.sum())
+        if deficit > 0:
+            order = np.argsort(weights - tuples)[::-1]
+            tuples[order[:deficit]] += 1
+        return tuples
+
+    def _iter_skewed_work(self, plan: QueryPlan) -> Iterator[SubqueryWork]:
+        """Per-fragment expansion with skewed fragment populations.
+
+        Hits scale with each fragment's population (uniformity *within*
+        fragments is kept); I/O geometry follows each fragment's actual
+        page count inside its uniformly reserved extent.
+        """
+        assert self._skew_tuples is not None
+        buffer = self.params.buffer
+        prefetch = buffer.prefetch_fact_pages
+        page_size = buffer.page_size
+        avg_tuples = self._tuples_per_fragment
+        n_bitmaps = plan.bitmaps_per_fragment
+
+        for fragment_id in plan.iter_fragment_ids(self.geometry):
+            tuples = int(self._skew_tuples[fragment_id])
+            fact = self.allocation.fact_placement(fragment_id)
+            pages = math.ceil(tuples / self._tuples_per_page)
+            granules = math.ceil(pages / prefetch) if pages else 0
+
+            if plan.all_rows_relevant:
+                relevant = tuples
+                extents = self._sequential_extents(
+                    fact.start_page, pages, prefetch
+                )
+            else:
+                relevant = round(plan.hits_per_fragment * tuples / avg_tuples)
+                hit_pages = (
+                    cardenas(pages, relevant) if pages and relevant else 0.0
+                )
+                hit_granules = (
+                    round(min(float(granules), cardenas(granules, hit_pages)))
+                    if granules and hit_pages
+                    else 0
+                )
+                extents = self._spread_extents(
+                    fact.start_page, pages, prefetch, granules, hit_granules
+                )
+
+            bitmap_reads = []
+            bitmap_pages = 0
+            if n_bitmaps and tuples:
+                raw_pages = tuples / 8 / page_size
+                fragment_bitmap_pages = max(1, math.ceil(raw_pages))
+                granule = buffer.prefetch_bitmap_pages
+                if buffer.adaptive_bitmap_prefetch:
+                    granule = max(1, min(granule, math.ceil(raw_pages)))
+                for bitmap_index in range(n_bitmaps):
+                    placement = self.allocation.bitmap_placement(
+                        bitmap_index, fragment_id
+                    )
+                    extents_b = []
+                    offset = 0
+                    while offset < fragment_bitmap_pages:
+                        step = min(granule, fragment_bitmap_pages - offset)
+                        extents_b.append((placement.start_page + offset, step))
+                        offset += step
+                    bitmap_reads.append((placement.disk, extents_b))
+                    bitmap_pages += fragment_bitmap_pages
+
+            yield SubqueryWork(
+                fragment_id=fragment_id,
+                fact_disk=fact.disk,
+                fact_extents=extents,
+                fact_pages=sum(p for _, p in extents),
+                bitmap_reads=bitmap_reads,
+                bitmap_pages=bitmap_pages,
+                relevant_rows=relevant,
+            )
+
+    def _iter_clustered_work(self, plan: QueryPlan) -> Iterator[SubqueryWork]:
+        """Cluster-granular expansion: one subquery per fragment cluster.
+
+        The bitmap fragments of the cluster's fragments are packed into
+        consecutive pages and read as one extent — the paper's remedy
+        for bitmap fragments below one page (Section 6.3).
+        """
+        buffer = self.params.buffer
+        prefetch = buffer.prefetch_fact_pages
+        pages_per_fragment = self.fact_pages_per_fragment
+        granules_per_fragment = math.ceil(pages_per_fragment / prefetch)
+
+        hit_spreader = _Spreader(plan.hits_per_fragment)
+        granule_spreader = None
+        if not plan.all_rows_relevant:
+            hit_pages = distinct_blocks(
+                round(self._tuples_per_fragment),
+                self._tuples_per_page,
+                plan.hits_per_fragment,
+            )
+            hit_granules = min(
+                float(granules_per_fragment),
+                cardenas(granules_per_fragment, hit_pages),
+            )
+            granule_spreader = _Spreader(hit_granules)
+
+        n_bitmaps = plan.bitmaps_per_fragment
+        for unit, fragment_ids in self._group_by_unit(plan):
+            fact_extents: list[tuple[int, int]] = []
+            relevant = 0
+            fact_disk = None
+            for fragment_id in fragment_ids:
+                fact = self.allocation.fact_placement(fragment_id)
+                fact_disk = fact.disk
+                relevant += hit_spreader.next()
+                if granule_spreader is None:
+                    fact_extents.extend(
+                        self._sequential_extents(
+                            fact.start_page, pages_per_fragment, prefetch
+                        )
+                    )
+                else:
+                    fact_extents.extend(
+                        self._spread_extents(
+                            fact.start_page,
+                            pages_per_fragment,
+                            prefetch,
+                            granules_per_fragment,
+                            granule_spreader.next(),
+                        )
+                    )
+            bitmap_reads = []
+            bitmap_pages = 0
+            for bitmap_index in range(n_bitmaps):
+                placement = self.allocation.bitmap_cluster_placement(
+                    bitmap_index, unit, fragments_selected=len(fragment_ids)
+                )
+                bitmap_reads.append(
+                    (
+                        placement.disk,
+                        [(placement.start_page, placement.pages)],
+                    )
+                )
+                bitmap_pages += placement.pages
+            assert fact_disk is not None
+            yield SubqueryWork(
+                fragment_id=fragment_ids[0],
+                fact_disk=fact_disk,
+                fact_extents=fact_extents,
+                fact_pages=sum(pages for _, pages in fact_extents),
+                bitmap_reads=bitmap_reads,
+                bitmap_pages=bitmap_pages,
+                relevant_rows=relevant,
+                fragment_count=len(fragment_ids),
+            )
+
+    def _group_by_unit(self, plan: QueryPlan):
+        """Group selected fragment ids (ascending) by allocation unit."""
+        current_unit: int | None = None
+        group: list[int] = []
+        for fragment_id in plan.iter_fragment_ids(self.geometry):
+            unit = self.allocation.unit_of(fragment_id)
+            if unit != current_unit:
+                if group:
+                    yield current_unit, group
+                current_unit = unit
+                group = []
+            group.append(fragment_id)
+        if group:
+            yield current_unit, group
+
+    @staticmethod
+    def _sequential_extents(
+        start_page: int, total_pages: int, granule: int
+    ) -> list[tuple[int, int]]:
+        """Whole-fragment scan: back-to-back prefetch granules."""
+        extents = []
+        offset = 0
+        while offset < total_pages:
+            pages = min(granule, total_pages - offset)
+            extents.append((start_page + offset, pages))
+            offset += pages
+        return extents
+
+    @staticmethod
+    def _spread_extents(
+        start_page: int,
+        total_pages: int,
+        granule: int,
+        granules_total: int,
+        granules_hit: int,
+    ) -> list[tuple[int, int]]:
+        """Hit granules evenly spread across the fragment extent."""
+        if granules_hit <= 0:
+            return []
+        granules_hit = min(granules_hit, granules_total)
+        extents = []
+        for i in range(granules_hit):
+            index = (i * granules_total) // granules_hit
+            offset = index * granule
+            pages = min(granule, total_pages - offset)
+            extents.append((start_page + offset, pages))
+        return extents

@@ -1,0 +1,164 @@
+"""Process-based discrete-event simulation engine.
+
+A minimal, fast substitute for the CSIM library used by the original
+SIMPAD: simulation *processes* are Python generators that ``yield``
+:class:`Event` objects and are resumed when those events trigger.
+Events carry a value; :class:`AllOf` joins several events (used for
+parallel bitmap I/O within a subquery).
+
+The engine is deliberately small — the behavioural fidelity of the
+simulation lives in the server models (disk, CPU, network), not here.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+#: Type of a simulation process body.
+ProcessBody = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence processes can wait on."""
+
+    __slots__ = ("env", "callbacks", "triggered", "value")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[[Any], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event, waking all waiters (in FIFO order)."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for callback in self.callbacks:
+            self.env._schedule(0.0, callback, value)
+        self.callbacks.clear()
+        return self
+
+    def wait(self, callback: Callable[[Any], None]) -> None:
+        """Register a callback; fires immediately if already triggered."""
+        if self.triggered:
+            self.env._schedule(0.0, callback, self.value)
+        else:
+            self.callbacks.append(callback)
+
+
+class AllOf(Event):
+    """An event that triggers once every child event has triggered."""
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        events = list(events)
+        self._pending = len(events)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for event in events:
+            event.wait(self._on_child)
+
+    def _on_child(self, _value: Any) -> None:
+        self._pending -= 1
+        if self._pending == 0 and not self.triggered:
+            self.succeed(None)
+
+
+class Process:
+    """A running simulation process wrapping a generator body."""
+
+    __slots__ = ("env", "_body", "done")
+
+    def __init__(self, env: "Environment", body: ProcessBody):
+        self.env = env
+        self._body = body
+        self.done = Event(env)
+        env._schedule(0.0, self._resume, None)
+
+    def _resume(self, value: Any) -> None:
+        try:
+            event = self._body.send(value)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        if not isinstance(event, Event):
+            raise TypeError(
+                f"process yielded {type(event).__name__}, expected Event"
+            )
+        event.wait(self._resume)
+
+
+class Environment:
+    """The event loop: a clock and a time-ordered schedule."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[[Any], None], Any]] = []
+        self._seq = 0
+        self.event_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def _schedule(
+        self, delay: float, callback: Callable[[Any], None], value: Any
+    ) -> None:
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, callback, value))
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event triggering ``delay`` seconds from now."""
+        event = Event(self)
+        self._schedule(delay, self._trigger, (event, value))
+        return event
+
+    @staticmethod
+    def _trigger(pair: tuple[Event, Any]) -> None:
+        event, value = pair
+        event.succeed(value)
+
+    def process(self, body: ProcessBody) -> Process:
+        """Start a new process; returns a handle whose ``done`` event
+        triggers with the generator's return value."""
+        return Process(self, body)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def run(self, until: float | None = None) -> float:
+        """Execute events until the schedule drains (or ``until``)."""
+        heap = self._heap
+        while heap:
+            time, _seq, callback, value = heapq.heappop(heap)
+            if until is not None and time > until:
+                heapq.heappush(heap, (time, _seq, callback, value))
+                self._now = until
+                return self._now
+            self._now = time
+            self.event_count += 1
+            callback(value)
+        return self._now
+
+    def run_until_event(self, event: Event) -> Any:
+        """Run until a specific event triggers; returns its value."""
+        while self._heap and not event.triggered:
+            time, _seq, callback, value = heapq.heappop(self._heap)
+            self._now = time
+            self.event_count += 1
+            callback(value)
+        if not event.triggered:
+            raise RuntimeError("schedule drained before the event triggered")
+        return event.value

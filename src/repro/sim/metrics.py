@@ -1,0 +1,72 @@
+"""Metrics collected by simulation runs."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class QueryMetrics:
+    """Measurements for one executed query."""
+
+    name: str
+    response_time: float
+    subqueries: int
+    fact_io_ops: int
+    fact_pages: int
+    bitmap_io_ops: int
+    bitmap_pages: int
+    coordinator_node: int
+
+    @property
+    def total_pages(self) -> int:
+        return self.fact_pages + self.bitmap_pages
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of one simulation run (a query stream)."""
+
+    queries: list[QueryMetrics] = field(default_factory=list)
+    elapsed: float = 0.0
+    disk_busy: list[float] = field(default_factory=list)
+    disk_seek: list[float] = field(default_factory=list)
+    cpu_busy: list[float] = field(default_factory=list)
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    event_count: int = 0
+
+    @property
+    def query_count(self) -> int:
+        return len(self.queries)
+
+    @property
+    def avg_response_time(self) -> float:
+        if not self.queries:
+            raise ValueError("no queries were executed")
+        return statistics.fmean(q.response_time for q in self.queries)
+
+    @property
+    def max_response_time(self) -> float:
+        return max(q.response_time for q in self.queries)
+
+    @property
+    def avg_disk_utilization(self) -> float:
+        if self.elapsed <= 0 or not self.disk_busy:
+            return 0.0
+        return statistics.fmean(self.disk_busy) / self.elapsed
+
+    @property
+    def avg_cpu_utilization(self) -> float:
+        if self.elapsed <= 0 or not self.cpu_busy:
+            return 0.0
+        return statistics.fmean(self.cpu_busy) / self.elapsed
+
+    @property
+    def total_pages(self) -> int:
+        return sum(q.total_pages for q in self.queries)
+
+    def speedup_against(self, baseline: "SimulationResult") -> float:
+        """Baseline average response time divided by this run's."""
+        return baseline.avg_response_time / self.avg_response_time

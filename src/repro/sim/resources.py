@@ -1,0 +1,71 @@
+"""FIFO servers: the building block for disks and CPUs.
+
+Processors and disks "are explicitly modeled as servers to realistically
+capture access conflicts and delays" (Section 5).  A request joins the
+queue; its service time is computed when service *starts* (disks need
+the head position at that moment), and its completion event carries the
+request's value.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from repro.sim.engine import Environment, Event
+
+
+class FifoServer:
+    """A single server with a FIFO queue and start-time service pricing."""
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self._queue: deque[tuple[Callable[[], float], Event, Any]] = deque()
+        self._busy = False
+        # Statistics
+        self.busy_time = 0.0
+        self.request_count = 0
+        self.queue_time = 0.0
+        self._last_enqueue: deque[float] = deque()
+
+    def submit(self, service: Callable[[], float], value: Any = None) -> Event:
+        """Enqueue a request; returns its completion event.
+
+        ``service`` is called when the request reaches the server and
+        must return the service duration in seconds.
+        """
+        done = Event(self.env)
+        self._queue.append((service, done, value))
+        self._last_enqueue.append(self.env.now)
+        if not self._busy:
+            self._start_next()
+        return done
+
+    def _start_next(self) -> None:
+        service, done, value = self._queue.popleft()
+        self.queue_time += self.env.now - self._last_enqueue.popleft()
+        self._busy = True
+        duration = service()
+        if duration < 0:
+            raise ValueError(f"negative service time on {self.name!r}")
+        self.busy_time += duration
+        self.request_count += 1
+        self.env._schedule(duration, self._complete, (done, value))
+
+    def _complete(self, pair: tuple[Event, Any]) -> None:
+        done, value = pair
+        self._busy = False
+        if self._queue:
+            self._start_next()
+        done.succeed(value)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue) + (1 if self._busy else 0)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` this server spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)

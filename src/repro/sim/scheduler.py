@@ -1,0 +1,230 @@
+"""Coordinator-based parallel query execution (Section 5).
+
+"New queries are first assigned to a randomly selected coordinator node
+...  The coordinator creates a task list of all subqueries to be
+performed, each comprising one fact fragment and its associated bitmap
+fragments ...  The list is sorted in the order in which the fragments
+were allocated to disks ...  The coordinator assigns subqueries from the
+task list to available processors in a round-robin manner, where each
+node receives a maximum of ``t`` concurrent tasks ...  We do, however,
+count coordination as one task so that the coordinator node will only
+process ``t - 1`` subqueries at a time."
+
+Each subquery performs the bitmap phase (optionally with parallel I/O
+over the staggered bitmap fragments), then reads and processes its fact
+granules, and returns a partial aggregate to the coordinator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.mdhf.routing import QueryPlan
+from repro.sim.buffer import BufferManager
+from repro.sim.config import SimulationParameters
+from repro.sim.cpu import ProcessingNode
+from repro.sim.database import SimulatedDatabase, SubqueryWork
+from repro.sim.disk import Disk
+from repro.sim.engine import Environment, Event
+from repro.sim.network import Network, receive_instructions, send_instructions
+
+
+@dataclass
+class _IOAccumulator:
+    """Per-query I/O counters."""
+
+    fact_ops: int = 0
+    fact_pages: int = 0
+    bitmap_ops: int = 0
+    bitmap_pages: int = 0
+    subqueries: int = 0
+
+
+class QueryExecutor:
+    """Executes one routed query on the simulated system."""
+
+    def __init__(
+        self,
+        env: Environment,
+        database: SimulatedDatabase,
+        plan: QueryPlan,
+        nodes: list[ProcessingNode],
+        disks: list[Disk],
+        network: Network,
+        buffers: list[BufferManager],
+        rng: random.Random,
+    ):
+        self.env = env
+        self.database = database
+        self.plan = plan
+        self.nodes = nodes
+        self.disks = disks
+        self.network = network
+        self.buffers = buffers
+        self.params: SimulationParameters = database.params
+        self.io = _IOAccumulator()
+
+        self.coordinator_id = rng.randrange(len(nodes))
+        self._coordinator = nodes[self.coordinator_id]
+        self._slots_free: list[int] = []
+        self._active = 0
+        self._wake: Event | None = None
+
+    # -- coordinator ---------------------------------------------------------
+
+    def body(self):
+        """The coordinator process: schedule subqueries, gather results."""
+        env = self.env
+        costs = self.params.cpu_costs
+        small = self.params.network.small_message_bytes
+        t = self.params.hardware.subqueries_per_node
+        n_nodes = len(self.nodes)
+
+        yield self._coordinator.compute(costs.initiate_query)
+
+        # Coordination occupies one task slot on the coordinator node.
+        self._slots_free = [t] * n_nodes
+        self._slots_free[self.coordinator_id] = max(t - 1, 1 if n_nodes == 1 else 0)
+
+        work_iter = self.database.iter_subquery_work(self.plan)
+        next_work = self._pull(work_iter)
+        cursor = 0
+        send_cost = costs.initiate_subquery + send_instructions(costs, small)
+
+        global_cap = self.params.max_concurrent_subqueries
+        while next_work is not None or self._active > 0:
+            # Assign to available nodes, round robin from the cursor.
+            while next_work is not None:
+                if global_cap is not None and self._active >= global_cap:
+                    break
+                node_id = self._find_free(cursor, n_nodes)
+                if node_id is None:
+                    break
+                cursor = (node_id + 1) % n_nodes
+                self._slots_free[node_id] -= 1
+                self._active += 1
+                yield self._coordinator.compute(send_cost)
+                self._launch(node_id, next_work)
+                next_work = self._pull(work_iter)
+            if next_work is None and self._active == 0:
+                break
+            self._wake = env.event()
+            yield self._wake
+            self._wake = None
+
+        yield self._coordinator.compute(costs.terminate_query)
+
+    @staticmethod
+    def _pull(work_iter: Iterator[SubqueryWork]) -> SubqueryWork | None:
+        return next(work_iter, None)
+
+    def _find_free(self, cursor: int, n_nodes: int) -> int | None:
+        for i in range(n_nodes):
+            node_id = (cursor + i) % n_nodes
+            if self._slots_free[node_id] > 0:
+                return node_id
+        return None
+
+    def _launch(self, node_id: int, work: SubqueryWork) -> None:
+        self.io.subqueries += 1
+        process = self.env.process(self._subquery_body(node_id, work))
+        process.done.wait(lambda _value, n=node_id: self._on_done(n))
+
+    def _on_done(self, node_id: int) -> None:
+        self._slots_free[node_id] += 1
+        self._active -= 1
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+
+    # -- subquery ----------------------------------------------------------------
+
+    def _subquery_body(self, node_id: int, work: SubqueryWork):
+        env = self.env
+        params = self.params
+        costs = params.cpu_costs
+        small = params.network.small_message_bytes
+        node = self.nodes[node_id]
+        buffer = self.buffers[node_id]
+
+        # Assignment message: wire delay, then receive cost on the node.
+        yield self.network.transfer(small)
+        yield node.compute(receive_instructions(costs, small))
+
+        # Step 4a: read and process the relevant bitmap fragments.
+        if work.bitmap_reads:
+            pages_processed = yield from self._bitmap_phase(work, buffer)
+            if pages_processed:
+                yield node.compute(costs.process_bitmap_page * pages_processed)
+
+        # Step 4b: read fact granules, extract and aggregate hit rows.
+        yield from self._fact_phase(work, node, buffer)
+
+        # Return the partial aggregate to the coordinator.
+        yield node.compute(
+            costs.terminate_subquery + send_instructions(costs, small)
+        )
+        yield self.network.transfer(small)
+        yield self._coordinator.compute(receive_instructions(costs, small))
+
+    def _bitmap_phase(self, work: SubqueryWork, buffer: BufferManager):
+        """Read all bitmap fragments; parallel over disks if configured.
+
+        Returns the number of bitmap pages processed (read or buffered —
+        resident fragments still need CPU evaluation).
+        """
+        pending: list[Event] = []
+        pages_processed = 0
+        for disk_id, extents in work.bitmap_reads:
+            to_read = []
+            for start, pages in extents:
+                pages_processed += pages
+                if buffer.bitmap.lookup(disk_id, start):
+                    continue
+                to_read.append((start, pages))
+                buffer.bitmap.insert(disk_id, start, pages)
+            if not to_read:
+                continue
+            self.io.bitmap_ops += len(to_read)
+            self.io.bitmap_pages += sum(pages for _, pages in to_read)
+            event = self.disks[disk_id].read_extents(to_read)
+            if self.params.parallel_bitmap_io:
+                pending.append(event)
+            else:
+                yield event
+        if pending:
+            yield self.env.all_of(pending)
+        return pages_processed
+
+    def _fact_phase(self, work: SubqueryWork, node: ProcessingNode, buffer: BufferManager):
+        costs = self.params.cpu_costs
+        coalesce = self.params.io_coalesce
+        row_instructions = (
+            costs.extract_table_row + costs.aggregate_table_row
+        ) * work.relevant_rows
+
+        extents = work.fact_extents
+        if not extents:
+            if row_instructions:
+                yield node.compute(row_instructions)
+            return
+        n_batches = -(-len(extents) // coalesce)
+        rows_per_batch = row_instructions / n_batches
+        disk = self.disks[work.fact_disk]
+        for batch_no in range(n_batches):
+            batch = extents[batch_no * coalesce : (batch_no + 1) * coalesce]
+            pages_in_batch = sum(pages for _, pages in batch)
+            to_read = []
+            for start, pages in batch:
+                if buffer.fact.lookup(work.fact_disk, start):
+                    continue
+                to_read.append((start, pages))
+                buffer.fact.insert(work.fact_disk, start, pages)
+            if to_read:
+                self.io.fact_ops += len(to_read)
+                self.io.fact_pages += sum(pages for _, pages in to_read)
+                yield disk.read_extents(to_read)
+            yield node.compute(
+                costs.read_page * pages_in_batch + rows_per_batch
+            )

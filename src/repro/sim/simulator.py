@@ -1,0 +1,195 @@
+"""Top-level simulation API.
+
+:class:`ParallelWarehouseSimulator` wires a star schema, a
+fragmentation, a disk allocation and a hardware configuration into a
+runnable Shared Disk PDBS model, then executes query streams in
+single-user mode ("queries are issued sequentially with a new query
+starting as soon as the previous one has terminated", Section 5).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.bitmap.catalog import IndexCatalog
+from repro.mdhf.query import StarQuery
+from repro.mdhf.spec import Fragmentation
+from repro.schema.fact import StarSchema
+from repro.sim.buffer import BufferManager
+from repro.sim.config import SimulationParameters
+from repro.sim.cpu import ProcessingNode
+from repro.sim.database import SimulatedDatabase
+from repro.sim.disk import Disk
+from repro.sim.engine import Environment
+from repro.sim.metrics import QueryMetrics, SimulationResult
+from repro.sim.network import Network
+from repro.sim.scheduler import QueryExecutor
+
+
+class ParallelWarehouseSimulator:
+    """A simulated Shared Disk parallel data warehouse.
+
+    Example::
+
+        sim = ParallelWarehouseSimulator(
+            schema=apb1_schema(),
+            fragmentation=Fragmentation.parse("time::month", "product::group"),
+        )
+        result = sim.run([query])
+        print(result.avg_response_time)
+    """
+
+    def __init__(
+        self,
+        schema: StarSchema,
+        fragmentation: Fragmentation,
+        params: SimulationParameters | None = None,
+        catalog: IndexCatalog | None = None,
+    ):
+        self.params = params if params is not None else SimulationParameters()
+        self.database = SimulatedDatabase(
+            schema=schema,
+            fragmentation=fragmentation,
+            params=self.params,
+            catalog=catalog,
+            staggered=self.params.staggered_allocation,
+        )
+
+    def run(self, queries: Sequence[StarQuery]) -> SimulationResult:
+        """Execute a query stream in single-user mode."""
+        if not queries:
+            raise ValueError("need at least one query")
+        params = self.params
+        env = Environment()
+        disks = [
+            Disk(env, params.disk, disk_id)
+            for disk_id in range(params.hardware.n_disks)
+        ]
+        nodes = [
+            ProcessingNode(env, node_id, params.hardware.cpu_mips)
+            for node_id in range(params.hardware.n_nodes)
+        ]
+        network = Network(env, params.network)
+        buffers = [BufferManager(params.buffer) for _ in nodes]
+        rng = random.Random(params.seed)
+
+        result = SimulationResult()
+        for query in queries:
+            plan = self.database.plan(query)
+            executor = QueryExecutor(
+                env=env,
+                database=self.database,
+                plan=plan,
+                nodes=nodes,
+                disks=disks,
+                network=network,
+                buffers=buffers,
+                rng=rng,
+            )
+            start = env.now
+            process = env.process(executor.body())
+            env.run_until_event(process.done)
+            result.queries.append(
+                QueryMetrics(
+                    name=query.name or str(query),
+                    response_time=env.now - start,
+                    subqueries=executor.io.subqueries,
+                    fact_io_ops=executor.io.fact_ops,
+                    fact_pages=executor.io.fact_pages,
+                    bitmap_io_ops=executor.io.bitmap_ops,
+                    bitmap_pages=executor.io.bitmap_pages,
+                    coordinator_node=executor.coordinator_id,
+                )
+            )
+
+        result.elapsed = env.now
+        for manager in buffers:
+            for pool in (manager.fact, manager.bitmap):
+                result.buffer_hits += pool.hits
+                result.buffer_misses += pool.misses
+        result.disk_busy = [disk.busy_time for disk in disks]
+        result.disk_seek = [disk.seek_time for disk in disks]
+        result.cpu_busy = [node.busy_time for node in nodes]
+        result.event_count = env.event_count
+        return result
+
+    def run_repeated(self, query: StarQuery, repetitions: int) -> SimulationResult:
+        """Run the same query type several times (parameters fixed)."""
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        return self.run([query] * repetitions)
+
+    def run_multi_user(
+        self, streams: Sequence[Sequence[StarQuery]]
+    ) -> SimulationResult:
+        """Execute several closed query streams concurrently.
+
+        Multi-user mode — listed as future work in the paper's Section 7
+        ("the consequences of multi-user mode").  Each stream models one
+        user session: its queries run back to back, while the streams
+        themselves compete for disks, CPUs and buffer space.  Response
+        times in the result are per query, in stream completion order.
+        """
+        if not streams or not all(streams):
+            raise ValueError("need at least one non-empty stream")
+        params = self.params
+        env = Environment()
+        disks = [
+            Disk(env, params.disk, disk_id)
+            for disk_id in range(params.hardware.n_disks)
+        ]
+        nodes = [
+            ProcessingNode(env, node_id, params.hardware.cpu_mips)
+            for node_id in range(params.hardware.n_nodes)
+        ]
+        network = Network(env, params.network)
+        buffers = [BufferManager(params.buffer) for _ in nodes]
+        rng = random.Random(params.seed)
+
+        result = SimulationResult()
+
+        def stream_body(queries: Sequence[StarQuery]):
+            for query in queries:
+                plan = self.database.plan(query)
+                executor = QueryExecutor(
+                    env=env,
+                    database=self.database,
+                    plan=plan,
+                    nodes=nodes,
+                    disks=disks,
+                    network=network,
+                    buffers=buffers,
+                    rng=rng,
+                )
+                start = env.now
+                process = env.process(executor.body())
+                yield process.done
+                result.queries.append(
+                    QueryMetrics(
+                        name=query.name or str(query),
+                        response_time=env.now - start,
+                        subqueries=executor.io.subqueries,
+                        fact_io_ops=executor.io.fact_ops,
+                        fact_pages=executor.io.fact_pages,
+                        bitmap_io_ops=executor.io.bitmap_ops,
+                        bitmap_pages=executor.io.bitmap_pages,
+                        coordinator_node=executor.coordinator_id,
+                    )
+                )
+
+        processes = [env.process(stream_body(stream)) for stream in streams]
+        env.run()
+        if not all(process.done.triggered for process in processes):
+            raise RuntimeError("a query stream did not complete")
+
+        result.elapsed = env.now
+        for manager in buffers:
+            for pool in (manager.fact, manager.bitmap):
+                result.buffer_hits += pool.hits
+                result.buffer_misses += pool.misses
+        result.disk_busy = [disk.busy_time for disk in disks]
+        result.disk_seek = [disk.seek_time for disk in disks]
+        result.cpu_busy = [node.busy_time for node in nodes]
+        result.event_count = env.event_count
+        return result

@@ -1,0 +1,20 @@
+"""Workload generation: the paper's APB-1 query types (Sections 3, 6).
+
+Named templates (``1STORE``, ``1MONTH``, ``1CODE``, ``1MONTH1GROUP``,
+``1CODE1QUARTER``, ...) with randomly drawn parameter values, issued as
+a single-user stream exactly as the paper's query generator does.
+"""
+
+from repro.workload.queries import (
+    APB1_QUERY_TYPES,
+    make_template,
+    query_type,
+)
+from repro.workload.generator import WorkloadGenerator
+
+__all__ = [
+    "APB1_QUERY_TYPES",
+    "query_type",
+    "make_template",
+    "WorkloadGenerator",
+]

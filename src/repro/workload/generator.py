@@ -1,0 +1,65 @@
+"""Single-user query stream generation (Section 5).
+
+"A query generator creates a series of query structures that are passed
+to the processing module ...  queries are issued sequentially with a new
+query starting as soon as the previous one has terminated.  For a single
+simulation, all queries are of the same type (e.g., 1STORE), but
+specific parameters are chosen at random."
+
+A mixed-type mode (weighted choice per query) is provided for the
+advisor's query-mix analyses.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+from repro.mdhf.query import QueryTemplate, StarQuery
+from repro.schema.fact import StarSchema
+from repro.workload.queries import query_type
+
+
+class WorkloadGenerator:
+    """Deterministic (seeded) generator of concrete star queries."""
+
+    def __init__(
+        self,
+        schema: StarSchema,
+        templates: Sequence[QueryTemplate | str],
+        weights: Sequence[float] | None = None,
+        seed: int = 0,
+    ):
+        if not templates:
+            raise ValueError("need at least one query template")
+        self.schema = schema
+        self.templates = [
+            query_type(t) if isinstance(t, str) else t for t in templates
+        ]
+        if weights is not None:
+            if len(weights) != len(self.templates):
+                raise ValueError("weights must match templates")
+            if any(w < 0 for w in weights) or sum(weights) <= 0:
+                raise ValueError("weights must be non-negative, not all zero")
+        self.weights = list(weights) if weights is not None else None
+        self._rng = random.Random(seed)
+
+    def next_query(self) -> StarQuery:
+        """Draw one concrete query."""
+        if len(self.templates) == 1:
+            template = self.templates[0]
+        elif self.weights is not None:
+            template = self._rng.choices(self.templates, self.weights)[0]
+        else:
+            template = self._rng.choice(self.templates)
+        return template.instantiate(self.schema, self._rng)
+
+    def stream(self, count: int) -> Iterator[StarQuery]:
+        """A finite single-user stream of ``count`` queries."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        for _ in range(count):
+            yield self.next_query()
+
+    def batch(self, count: int) -> list[StarQuery]:
+        return list(self.stream(count))

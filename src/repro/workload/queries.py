@@ -1,0 +1,83 @@
+"""The paper's named star-query types.
+
+Each type fixes the referenced attributes; concrete values are drawn at
+query-generation time ("specific parameters are chosen at random (e.g.,
+the actual STORE selected)", Section 5).  Names follow the paper:
+``1MONTH1GROUP`` selects one month and one product group.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.mdhf.query import QueryTemplate
+from repro.schema.dimension import AttributeRef
+
+#: Attribute behind each name token used by the paper's query names.
+_TOKEN_ATTRIBUTES = {
+    "STORE": "customer::store",
+    "RETAILER": "customer::retailer",
+    "MONTH": "time::month",
+    "QUARTER": "time::quarter",
+    "YEAR": "time::year",
+    "CHANNEL": "channel::channel",
+    "CODE": "product::code",
+    "CLASS": "product::class",
+    "GROUP": "product::group",
+    "FAMILY": "product::family",
+    "LINE": "product::line",
+    "DIVISION": "product::division",
+}
+
+_TOKEN_PATTERN = re.compile(r"(\d+)([A-Z]+)")
+
+
+def make_template(name: str) -> QueryTemplate:
+    """Build a template from the paper's naming scheme.
+
+    ``"1MONTH1GROUP"`` -> one value of time::month and one of
+    product::group; ``"2STORE"`` would select two stores (an IN-list).
+    """
+    tokens = _TOKEN_PATTERN.findall(name)
+    if not tokens or "".join(f"{c}{t}" for c, t in tokens) != name:
+        raise ValueError(
+            f"cannot parse query type {name!r}; expected e.g. '1MONTH1GROUP'"
+        )
+    attributes = []
+    counts = []
+    for count_text, token in tokens:
+        if token not in _TOKEN_ATTRIBUTES:
+            raise ValueError(
+                f"unknown attribute token {token!r} in {name!r}; "
+                f"known: {sorted(_TOKEN_ATTRIBUTES)}"
+            )
+        attributes.append(AttributeRef.parse(_TOKEN_ATTRIBUTES[token]))
+        counts.append(int(count_text))
+    return QueryTemplate(
+        name=name,
+        attributes=tuple(attributes),
+        values_per_attribute=tuple(counts),
+    )
+
+
+#: The query types the paper's experiments use.
+APB1_QUERY_TYPES: dict[str, QueryTemplate] = {
+    name: make_template(name)
+    for name in (
+        "1STORE",
+        "1MONTH",
+        "1CODE",
+        "1MONTH1GROUP",
+        "1CODE1QUARTER",
+        "1CODE1MONTH",
+        "1GROUP",
+        "1QUARTER",
+    )
+}
+
+
+def query_type(name: str) -> QueryTemplate:
+    """Look up a predefined type, or build it from the naming scheme."""
+    if name in APB1_QUERY_TYPES:
+        return APB1_QUERY_TYPES[name]
+    return make_template(name)

@@ -1,0 +1,74 @@
+"""Gcd clustering analysis: the Section 4.6 example."""
+
+import pytest
+
+from repro.allocation.analysis import (
+    disks_touched_by_stride,
+    effective_parallelism,
+    parallelism_loss,
+    recommend_disk_count,
+)
+from repro.mdhf.fragments import FragmentGeometry
+from repro.mdhf.query import Predicate, StarQuery
+from repro.mdhf.routing import plan_query
+
+
+class TestStrideAnalysis:
+    def test_paper_example_1code_5_disks(self):
+        # F_MonthGroup, months outermost: 1CODE touches every 480th
+        # fragment; gcd(480, 100) = 20 -> only 5 disks.
+        assert disks_touched_by_stride(stride=480, count=24, n_disks=100) == 5
+
+    def test_paper_example_reversed_order(self):
+        # Allocating the other way round: 1MONTH queries restricted to
+        # 25 disks (gcd(4, ...) -> gcd = 4).
+        assert disks_touched_by_stride(stride=4, count=480, n_disks=100) == 25
+
+    def test_prime_disk_count_avoids_clustering(self):
+        assert disks_touched_by_stride(stride=480, count=24, n_disks=101) == 24
+
+    def test_capped_by_count(self):
+        assert disks_touched_by_stride(stride=1, count=3, n_disks=100) == 3
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            disks_touched_by_stride(0, 1, 10)
+
+
+class TestEffectiveParallelism:
+    def test_1code_under_month_group(self, apb1, f_month_group, apb1_catalog):
+        geometry = FragmentGeometry(apb1, f_month_group)
+        query = StarQuery([Predicate.parse("product::code", 33)], name="1CODE")
+        plan = plan_query(query, f_month_group, apb1, apb1_catalog)
+        assert plan.fragment_count == 24
+        assert effective_parallelism(plan, geometry, 100) == 5
+        assert parallelism_loss(plan, geometry, 100) == pytest.approx(4.8)
+
+    def test_1code_with_prime_disks(self, apb1, f_month_group, apb1_catalog):
+        geometry = FragmentGeometry(apb1, f_month_group)
+        query = StarQuery([Predicate.parse("product::code", 33)], name="1CODE")
+        plan = plan_query(query, f_month_group, apb1, apb1_catalog)
+        assert effective_parallelism(plan, geometry, 101) == 24
+        assert parallelism_loss(plan, geometry, 101) == pytest.approx(1.0)
+
+    def test_large_plans_cover_all_disks(self, apb1, f_month_group, apb1_catalog):
+        geometry = FragmentGeometry(apb1, f_month_group)
+        query = StarQuery([Predicate.parse("customer::store", 0)], name="1STORE")
+        plan = plan_query(query, f_month_group, apb1, apb1_catalog)
+        assert effective_parallelism(plan, geometry, 100) == 100
+
+
+class TestRecommendDiskCount:
+    def test_prefers_prime_near_target(self):
+        assert recommend_disk_count(100, strides=[480]) == 101
+
+    def test_prime_target_kept(self):
+        assert recommend_disk_count(97) == 97
+
+    def test_strideless_still_prime(self):
+        result = recommend_disk_count(60)
+        assert result in (59, 61)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            recommend_disk_count(0)

@@ -1,0 +1,97 @@
+"""Staggered round-robin placement (Figure 2)."""
+
+import pytest
+
+from repro.allocation.placement import DiskAllocation
+from repro.mdhf.fragments import FragmentGeometry
+
+
+@pytest.fixture
+def allocation(apb1, f_month_group):
+    geometry = FragmentGeometry(apb1, f_month_group)
+    return DiskAllocation(geometry, n_disks=100, kept_bitmaps=32)
+
+
+class TestFactPlacement:
+    def test_round_robin(self, allocation):
+        assert allocation.fact_placement(0).disk == 0
+        assert allocation.fact_placement(99).disk == 99
+        assert allocation.fact_placement(100).disk == 0
+
+    def test_consecutive_slots_on_disk(self, allocation):
+        pages = allocation.fact_pages_per_fragment
+        first = allocation.fact_placement(0)
+        second = allocation.fact_placement(100)  # next fragment on disk 0
+        assert first.start_page == 0
+        assert second.start_page == pages
+        assert first.end_page == second.start_page
+
+    def test_extent_size(self, allocation):
+        assert allocation.fact_placement(42).pages == 795
+
+    def test_out_of_range(self, allocation):
+        with pytest.raises(ValueError):
+            allocation.fact_placement(11_520)
+        with pytest.raises(ValueError):
+            allocation.fact_placement(-1)
+
+
+class TestBitmapPlacement:
+    def test_staggered_consecutive_disks(self, allocation):
+        # Bitmap fragments of fragment i land on disks i+1, i+2, ...
+        fragment_id = 7
+        disks = [
+            allocation.bitmap_placement(b, fragment_id).disk for b in range(12)
+        ]
+        assert disks == [(fragment_id + 1 + b) % 100 for b in range(12)]
+        assert len(set(disks)) == 12  # all distinct: parallel I/O possible
+
+    def test_wraps_modulo_disk_count(self, allocation):
+        placement = allocation.bitmap_placement(5, 99)
+        assert placement.disk == (99 + 1 + 5) % 100
+
+    def test_non_staggered_colocates(self, apb1, f_month_group):
+        geometry = FragmentGeometry(apb1, f_month_group)
+        allocation = DiskAllocation(
+            geometry, n_disks=100, kept_bitmaps=32, staggered=False
+        )
+        disks = {allocation.bitmap_placement(b, 7).disk for b in range(12)}
+        assert disks == {8}
+
+    def test_bitmap_region_after_fact_region(self, allocation):
+        placement = allocation.bitmap_placement(0, 0)
+        slots = -(-11_520 // 100)
+        assert placement.start_page == slots * 795
+
+    def test_distinct_offsets_per_bitmap(self, allocation):
+        # Two bitmaps of the same fragment never overlap even when (with
+        # few disks) they share a disk.
+        a = allocation.bitmap_placement(0, 3)
+        b = allocation.bitmap_placement(1, 3)
+        assert (a.disk, a.start_page) != (b.disk, b.start_page)
+
+    def test_no_overlap_same_disk_same_bitmap(self, allocation):
+        # Fragments 3 and 103 put bitmap 0 on the same disk at
+        # consecutive subregion slots.
+        a = allocation.bitmap_placement(0, 3)
+        b = allocation.bitmap_placement(0, 103)
+        assert a.disk == b.disk
+        assert a.end_page <= b.start_page or b.end_page <= a.start_page
+
+    def test_bitmap_index_bounds(self, allocation):
+        with pytest.raises(ValueError):
+            allocation.bitmap_placement(32, 0)
+
+
+class TestCapacity:
+    def test_pages_per_disk(self, allocation):
+        slots = -(-11_520 // 100)
+        expected = slots * 795 + 32 * slots * 5
+        assert allocation.pages_per_disk() == expected
+
+    def test_invalid_construction(self, apb1, f_month_group):
+        geometry = FragmentGeometry(apb1, f_month_group)
+        with pytest.raises(ValueError):
+            DiskAllocation(geometry, n_disks=0, kept_bitmaps=1)
+        with pytest.raises(ValueError):
+            DiskAllocation(geometry, n_disks=10, kept_bitmaps=-1)

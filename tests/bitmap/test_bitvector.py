@@ -1,0 +1,126 @@
+"""Unit tests for the packed bit vector."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap.bitvector import BitVector
+
+
+class TestConstruction:
+    def test_zeros(self):
+        v = BitVector.zeros(13)
+        assert len(v) == 13
+        assert v.count() == 0
+        assert not v.any()
+
+    def test_ones_masks_tail(self):
+        v = BitVector.ones(13)
+        assert v.count() == 13
+        assert v.byte_size == 2  # 13 bits -> 2 bytes, tail zeroed
+
+    def test_from_bool_array(self):
+        v = BitVector.from_bool_array(np.array([1, 0, 1, 1, 0], dtype=bool))
+        assert v.indices().tolist() == [0, 2, 3]
+
+    def test_from_indices(self):
+        v = BitVector.from_indices(10, [9, 0, 4])
+        assert v.indices().tolist() == [0, 4, 9]
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            BitVector.from_bool_array(np.zeros((2, 2), dtype=bool))
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(-1)
+
+    def test_zero_length(self):
+        v = BitVector.zeros(0)
+        assert v.count() == 0
+        assert v.indices().tolist() == []
+
+
+class TestAccess:
+    def test_get_set(self):
+        v = BitVector.zeros(20)
+        v.set(7)
+        v.set(19)
+        assert v.get(7) and v.get(19)
+        assert not v.get(8)
+        v.set(7, False)
+        assert not v.get(7)
+
+    def test_bounds_checked(self):
+        v = BitVector.zeros(8)
+        with pytest.raises(IndexError):
+            v.get(8)
+        with pytest.raises(IndexError):
+            v.set(-1)
+
+    def test_to_bool_array_round_trip(self):
+        bits = np.random.default_rng(0).integers(0, 2, size=37).astype(bool)
+        v = BitVector.from_bool_array(bits)
+        assert np.array_equal(v.to_bool_array(), bits)
+
+
+class TestAlgebra:
+    def test_and(self):
+        a = BitVector.from_indices(8, [0, 1, 2])
+        b = BitVector.from_indices(8, [1, 2, 3])
+        assert (a & b).indices().tolist() == [1, 2]
+
+    def test_or(self):
+        a = BitVector.from_indices(8, [0])
+        b = BitVector.from_indices(8, [7])
+        assert (a | b).indices().tolist() == [0, 7]
+
+    def test_xor(self):
+        a = BitVector.from_indices(8, [0, 1])
+        b = BitVector.from_indices(8, [1, 2])
+        assert (a ^ b).indices().tolist() == [0, 2]
+
+    def test_invert_respects_length(self):
+        v = BitVector.from_indices(11, [0, 5])
+        inverted = ~v
+        assert inverted.count() == 9
+        assert 0 not in inverted.indices()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            BitVector.zeros(8) & BitVector.zeros(9)
+
+    def test_equality(self):
+        assert BitVector.from_indices(9, [3]) == BitVector.from_indices(9, [3])
+        assert BitVector.from_indices(9, [3]) != BitVector.from_indices(9, [4])
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(BitVector.zeros(4))
+
+
+class TestSlice:
+    def test_slice_extracts_bits(self):
+        v = BitVector.from_indices(20, [3, 9, 10, 17])
+        part = v.slice(8, 16)
+        assert part.indices().tolist() == [1, 2]
+        assert len(part) == 8
+
+    def test_slice_unaligned(self):
+        v = BitVector.from_indices(20, [5])
+        part = v.slice(5, 6)
+        assert part.count() == 1
+
+    def test_fragments_partition_counts(self):
+        # Slicing a bitmap into fragments preserves the total popcount —
+        # the property that lets bitmap fragments be processed per fact
+        # fragment (Section 4).
+        rng = np.random.default_rng(1)
+        v = BitVector.from_bool_array(rng.integers(0, 2, 100).astype(bool))
+        pieces = [v.slice(i * 10, (i + 1) * 10) for i in range(10)]
+        assert sum(p.count() for p in pieces) == v.count()
+
+    def test_bad_slice_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector.zeros(10).slice(5, 11)
+        with pytest.raises(ValueError):
+            BitVector.zeros(10).slice(6, 5)

@@ -1,0 +1,81 @@
+"""Index catalog (Section 3.2 configuration) and analytic sizing."""
+
+import pytest
+
+from repro.bitmap.catalog import IndexCatalog, IndexKind
+from repro.bitmap.sizing import (
+    bitmap_bytes,
+    bitmap_fragment_bytes,
+    bitmap_fragment_pages,
+    max_fragments_for_min_bitmap_pages,
+)
+
+
+class TestCatalog:
+    def test_default_kinds_match_paper(self, apb1_catalog):
+        kinds = {d.dimension: d.kind for d in apb1_catalog}
+        assert kinds["product"] is IndexKind.ENCODED
+        assert kinds["customer"] is IndexKind.ENCODED
+        assert kinds["time"] is IndexKind.SIMPLE
+        assert kinds["channel"] is IndexKind.SIMPLE
+
+    def test_total_76_bitmaps(self, apb1_catalog):
+        # 15 (product) + 12 (customer) + 34 (time) + 15 (channel)
+        assert apb1_catalog.total_bitmaps == 76
+
+    def test_per_dimension_counts(self, apb1_catalog):
+        counts = {d.dimension: d.bitmap_count for d in apb1_catalog}
+        assert counts == {"product": 15, "customer": 12, "time": 34, "channel": 15}
+
+    def test_explicit_kind_override(self, apb1):
+        catalog = IndexCatalog(apb1, kinds={"time": IndexKind.ENCODED})
+        descriptor = catalog.descriptor("time")
+        assert descriptor.kind is IndexKind.ENCODED
+        assert descriptor.bitmap_count == 5  # 1 + 2 + 2 bits
+
+    def test_selection_costs(self, apb1_catalog):
+        product = apb1_catalog.descriptor("product")
+        assert product.bitmaps_for_selection("code") == 15
+        assert product.bitmaps_for_selection("group") == 10
+        assert product.bitmaps_for_selection("code", implied_level="group") == 5
+        time = apb1_catalog.descriptor("time")
+        assert time.bitmaps_for_selection("month") == 1
+
+    def test_implied_below_level_rejected(self, apb1_catalog):
+        with pytest.raises(ValueError):
+            apb1_catalog.descriptor("product").bitmaps_for_selection(
+                "group", implied_level="code"
+            )
+
+    def test_unknown_dimension(self, apb1_catalog):
+        with pytest.raises(KeyError):
+            apb1_catalog.descriptor("nope")
+
+
+class TestSizing:
+    def test_full_scale_bitmap_223_mb(self, apb1):
+        size = bitmap_bytes(apb1.fact_count)
+        assert size == 233_280_000
+        assert round(size / 2**20) == 222  # the paper's "223 MB"
+
+    def test_fragment_bytes_month_group(self, apb1):
+        assert bitmap_fragment_bytes(apb1.fact_count, 11_520) == 20_250
+
+    def test_fragment_pages_match_table6(self, apb1):
+        for n, expected in ((11_520, 4.9), (23_040, 2.5), (345_600, 0.16)):
+            pages = bitmap_fragment_pages(apb1.fact_count, n, 4096)
+            assert pages == pytest.approx(expected, abs=0.05)
+
+    def test_nmax_threshold(self, apb1):
+        n_max = max_fragments_for_min_bitmap_pages(apb1.fact_count, 4096, 4)
+        assert n_max == 14_238
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            bitmap_bytes(-1)
+        with pytest.raises(ValueError):
+            bitmap_fragment_bytes(100, 0)
+        with pytest.raises(ValueError):
+            bitmap_fragment_pages(100, 1, 0)
+        with pytest.raises(ValueError):
+            max_fragments_for_min_bitmap_pages(100, 4096, 0)

@@ -1,0 +1,138 @@
+"""Encoded bitmap join indices and the Table 1 hierarchical encoding."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap.encoded import EncodedBitmapJoinIndex, HierarchicalEncoding
+
+
+@pytest.fixture
+def product_encoding(apb1):
+    return HierarchicalEncoding(apb1.dimension("product").hierarchy)
+
+
+class TestTable1Encoding:
+    """The encoding reproduces Table 1 of the paper exactly."""
+
+    def test_bit_widths(self, product_encoding):
+        assert product_encoding.widths == (3, 2, 3, 2, 1, 4)
+
+    def test_total_width_15(self, product_encoding):
+        assert product_encoding.total_width == 15
+
+    def test_group_prefix_10_bits(self, product_encoding):
+        # "CODEs belonging to the same GROUP ... can be precisely located
+        # with access to only 10 of the 15 bitmaps."
+        assert product_encoding.prefix_width("group") == 10
+
+    def test_customer_12_bits(self, apb1):
+        encoding = HierarchicalEncoding(apb1.dimension("customer").hierarchy)
+        assert encoding.total_width == 12
+        assert encoding.widths == (8, 4)
+
+    def test_fanout_one_contributes_no_bits(self, tiny):
+        encoding = HierarchicalEncoding(tiny.dimension("product").hierarchy)
+        # tiny product "class" level has fanout 1.
+        assert encoding.width_of("class") == 0
+
+
+class TestEncodeDecode:
+    def test_leaf_round_trip(self, product_encoding):
+        hierarchy = product_encoding.hierarchy
+        for code in (0, 1, 14399, 7777):
+            pattern = product_encoding.encode("code", code)
+            assert product_encoding.decode(pattern) == code
+            assert pattern < 2 ** product_encoding.total_width
+        del hierarchy
+
+    def test_inner_level_round_trip(self, product_encoding):
+        for group in (0, 17, 479):
+            pattern = product_encoding.encode("group", group)
+            assert product_encoding.decode(pattern, "group") == group
+
+    def test_shared_prefix_within_group(self, product_encoding):
+        # All codes under one group share the 10-bit prefix.
+        hierarchy = product_encoding.hierarchy
+        group = 123
+        prefix = product_encoding.encode("group", group)
+        for code in hierarchy.project("group", group, "code"):
+            pattern = product_encoding.encode("code", code)
+            assert pattern >> (15 - 10) == prefix
+
+    def test_digits_within_parent_fanout(self, product_encoding):
+        digits = product_encoding.digits("code", 14399)
+        fanouts = [l.fanout for l in product_encoding.hierarchy]
+        assert all(0 <= d < f for d, f in zip(digits, fanouts))
+
+    def test_decode_rejects_invalid_digit(self, product_encoding):
+        # Digit 15 at the division level (fanout 8) is invalid.
+        with pytest.raises(ValueError, match="exceeds fanout"):
+            product_encoding.decode(0b111_11_111_11_1_1111, "code")
+
+    def test_encode_array_matches_scalar(self, product_encoding):
+        values = np.array([0, 5, 300, 14399])
+        patterns = product_encoding.encode_array(values)
+        for value, pattern in zip(values, patterns):
+            assert pattern == product_encoding.encode("code", int(value))
+
+
+class TestIndexSelection:
+    @pytest.fixture
+    def index(self, tiny, tiny_warehouse):
+        return EncodedBitmapJoinIndex(
+            tiny.dimension("product"), tiny_warehouse.column("product")
+        )
+
+    def test_bitmap_count_is_encoding_width(self, index):
+        assert index.bitmap_count == index.encoding.total_width
+
+    def test_leaf_selection_exact(self, index, tiny_warehouse):
+        keys = tiny_warehouse.column("product")
+        for code in (0, 33, 71):
+            expected = np.flatnonzero(keys == code)
+            got = index.select("code", code).indices()
+            assert np.array_equal(got, expected)
+
+    def test_inner_selection_covers_subtree(self, index, tiny, tiny_warehouse):
+        hierarchy = tiny.dimension("product").hierarchy
+        keys = tiny_warehouse.column("product")
+        group = 5
+        width = hierarchy.leaves_per_value("group")
+        expected = np.flatnonzero(keys // width == group)
+        got = index.select("group", group).indices()
+        assert np.array_equal(got, expected)
+
+    def test_bitmaps_read_matches_prefix(self, index):
+        assert index.bitmaps_read_for("code") == index.encoding.prefix_width("code")
+        assert index.bitmaps_read_for("division") == index.encoding.prefix_width("division")
+
+    def test_bitmaps_read_with_implied_prefix(self, index):
+        full = index.bitmaps_read_for("code")
+        below_group = index.bitmaps_read_for("code", implied_level="group")
+        assert below_group == full - index.encoding.prefix_width("group")
+
+    def test_select_suffix_within_fragment(self, index, tiny, tiny_warehouse):
+        # Restricted to rows of one group, the suffix selection equals
+        # the full selection.
+        hierarchy = tiny.dimension("product").hierarchy
+        keys = tiny_warehouse.column("product")
+        code = 40
+        group = hierarchy.ancestor(code, "group")
+        group_rows = keys // hierarchy.leaves_per_value("group") == group
+        suffix = index.select_suffix("code", code, "group").to_bool_array()
+        full = index.select("code", code).to_bool_array()
+        assert np.array_equal(suffix & group_rows, full)
+
+    def test_select_suffix_requires_higher_level(self, index):
+        with pytest.raises(ValueError, match="strictly above"):
+            index.select_suffix("group", 0, "code")
+
+    def test_union_of_groups_is_division(self, index, tiny):
+        hierarchy = tiny.dimension("product").hierarchy
+        division = 1
+        division_rows = index.select("division", division)
+        union = None
+        for group in hierarchy.project("division", division, "group"):
+            rows = index.select("group", group)
+            union = rows if union is None else union | rows
+        assert union == division_rows

@@ -1,0 +1,61 @@
+"""Simple bitmap join indices (TIME and CHANNEL in the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap.simple import SimpleBitmapIndex
+
+
+@pytest.fixture
+def index(tiny, tiny_warehouse):
+    return SimpleBitmapIndex(tiny.dimension("time"), tiny_warehouse.column("time"))
+
+
+class TestStructure:
+    def test_one_bitmap_per_value_per_level(self, index, tiny):
+        hierarchy = tiny.dimension("time").hierarchy
+        expected = sum(level.cardinality for level in hierarchy)
+        assert index.bitmap_count == expected
+
+    def test_apb1_time_would_have_34(self, apb1):
+        hierarchy = apb1.dimension("time").hierarchy
+        assert sum(level.cardinality for level in hierarchy) == 34
+
+
+class TestSelection:
+    def test_leaf_selection(self, index, tiny_warehouse):
+        keys = tiny_warehouse.column("time")
+        for month in (0, 5, 11):
+            got = index.select("month", month).indices()
+            assert np.array_equal(got, np.flatnonzero(keys == month))
+
+    def test_inner_level_single_bitmap(self, index, tiny, tiny_warehouse):
+        hierarchy = tiny.dimension("time").hierarchy
+        keys = tiny_warehouse.column("time")
+        width = hierarchy.leaves_per_value("quarter")
+        got = index.select("quarter", 2).indices()
+        assert np.array_equal(got, np.flatnonzero(keys // width == 2))
+
+    def test_select_many_is_union(self, index):
+        a = index.select("month", 1)
+        b = index.select("month", 7)
+        assert index.select_many("month", [1, 7]) == (a | b)
+
+    def test_bitmaps_read_one_per_value(self, index):
+        assert index.bitmaps_read_for("month") == 1
+        assert index.bitmaps_read_for("month", value_count=3) == 3
+
+    def test_level_bitmaps_partition_rows(self, index, tiny):
+        # Month bitmaps are disjoint and complete.
+        total = 0
+        union = None
+        for month in range(tiny.dimension("time").cardinality):
+            bitmap = index.bitmap("month", month)
+            total += bitmap.count()
+            union = bitmap if union is None else union | bitmap
+        assert total == index.row_count
+        assert union is not None and union.count() == index.row_count
+
+    def test_out_of_range_value(self, index):
+        with pytest.raises(ValueError):
+            index.bitmap("month", 12)

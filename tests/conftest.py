@@ -1,0 +1,59 @@
+"""Shared fixtures: schemas, warehouses, catalogs, fragmentations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bitmap.catalog import IndexCatalog
+from repro.mdhf.spec import Fragmentation
+from repro.schema.apb1 import apb1_schema, tiny_schema
+from repro.schema.datagen import generate_warehouse
+
+
+@pytest.fixture(scope="session")
+def apb1():
+    """The paper's full-scale APB-1 schema (analytic only)."""
+    return apb1_schema()
+
+
+@pytest.fixture(scope="session")
+def apb1_catalog(apb1):
+    return IndexCatalog(apb1)
+
+
+@pytest.fixture(scope="session")
+def tiny():
+    """Scaled-down, structurally identical schema (materialisable)."""
+    return tiny_schema()
+
+
+@pytest.fixture(scope="session")
+def tiny_warehouse(tiny):
+    return generate_warehouse(tiny, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_catalog(tiny):
+    return IndexCatalog(tiny)
+
+
+@pytest.fixture
+def f_month_group():
+    """The paper's running example F_MonthGroup."""
+    return Fragmentation.parse("time::month", "product::group")
+
+
+@pytest.fixture
+def f_month_class():
+    return Fragmentation.parse("time::month", "product::class")
+
+
+@pytest.fixture
+def f_month_code():
+    return Fragmentation.parse("time::month", "product::code")
+
+
+@pytest.fixture
+def f_store():
+    """The paper's F_opt for 1STORE."""
+    return Fragmentation.parse("customer::store")

@@ -1,0 +1,92 @@
+"""Block-hit estimators: Yao exact, Cardenas approximate."""
+
+import math
+
+import pytest
+
+from repro.costmodel.estimator import cardenas, distinct_blocks, yao
+
+
+class TestYao:
+    def test_zero_hits(self):
+        assert yao(1000, 10, 0) == 0.0
+
+    def test_all_records(self):
+        assert yao(1000, 10, 1000) == 100.0
+
+    def test_one_hit_one_block(self):
+        assert yao(1000, 10, 1) == pytest.approx(1.0)
+
+    def test_exact_small_case(self):
+        # 4 records, 2 per block, 2 hits: P(both in same block) = 1/3,
+        # expected blocks = 2 - 1/3 = 5/3.
+        assert yao(4, 2, 2) == pytest.approx(5 / 3)
+
+    def test_monotone_in_hits(self):
+        values = [yao(10_000, 100, k) for k in (1, 10, 100, 1000)]
+        assert values == sorted(values)
+        assert values[-1] <= 100.0
+
+    def test_fractional_hits_interpolate(self):
+        low = yao(1000, 10, 5)
+        high = yao(1000, 10, 6)
+        mid = yao(1000, 10, 5.5)
+        assert low < mid < high
+        assert mid == pytest.approx((low + high) / 2)
+
+    def test_hits_beyond_records_clamped(self):
+        assert yao(100, 10, 500) == 10.0
+
+    def test_near_saturation(self):
+        # k >= n - m + 1 means every block is hit.
+        assert yao(100, 10, 91) == 10.0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            yao(0, 10, 1)
+        with pytest.raises(ValueError):
+            yao(10, 0, 1)
+        with pytest.raises(ValueError):
+            yao(10, 2, -1)
+
+
+class TestCardenas:
+    def test_zero_hits(self):
+        assert cardenas(100, 0) == 0.0
+
+    def test_single_block(self):
+        assert cardenas(1, 5) == 1.0
+
+    def test_formula(self):
+        blocks, hits = 50, 20
+        expected = blocks * (1 - (1 - 1 / blocks) ** hits)
+        assert cardenas(blocks, hits) == pytest.approx(expected)
+
+    def test_approaches_blocks(self):
+        assert cardenas(10, 10_000) == pytest.approx(10.0)
+
+    def test_close_to_yao_for_sparse_hits(self):
+        # With hits << records the two estimates agree closely.
+        exact = yao(1_000_000, 100, 50)
+        approx = cardenas(10_000, 50)
+        assert approx == pytest.approx(exact, rel=1e-3)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            cardenas(0, 5)
+        with pytest.raises(ValueError):
+            cardenas(10, -1)
+
+
+class TestDistinctBlocks:
+    def test_uses_yao_below_limit(self):
+        assert distinct_blocks(1000, 10, 5) == pytest.approx(yao(1000, 10, 5))
+
+    def test_uses_cardenas_above_limit(self):
+        blocks = math.ceil(10_000_000 / 100)
+        expected = min(float(blocks), cardenas(blocks, 50_000))
+        assert distinct_blocks(10_000_000, 100, 50_000) == pytest.approx(expected)
+
+    def test_never_exceeds_block_count(self):
+        for hits in (10, 1_000, 100_000, 10_000_000):
+            assert distinct_blocks(1_000_000, 10, hits) <= 100_000 + 1e-9

@@ -1,0 +1,113 @@
+"""I/O cost model: the Table 3 case and structural properties."""
+
+import pytest
+
+from repro.costmodel.iocost import IOCostParameters, estimate_io
+from repro.costmodel.report import compare_fragmentations, format_table
+from repro.mdhf.query import Predicate, StarQuery
+from repro.mdhf.routing import plan_query
+from repro.mdhf.spec import Fragmentation
+
+
+@pytest.fixture
+def one_store():
+    return StarQuery([Predicate.parse("customer::store", 7)], name="1STORE")
+
+
+class TestTable3:
+    """I/O characteristics of 1STORE under F_opt and F_nosupp."""
+
+    def test_fopt_exact_paper_values(self, apb1, apb1_catalog, f_store, one_store):
+        plan = plan_query(one_store, f_store, apb1, apb1_catalog)
+        estimate = estimate_io(plan, apb1)
+        assert estimate.fragment_count == 1
+        # The paper's 795 fact I/O operations and ~25 MB.
+        assert estimate.fact_io_ops == 795
+        assert estimate.fact_pages == 6_353
+        assert estimate.bitmap_io_ops == 0
+        assert estimate.total_mib == pytest.approx(24.8, abs=0.1)
+
+    def test_fnosupp_bitmap_pages_exact(self, apb1, apb1_catalog, f_month_group, one_store):
+        plan = plan_query(one_store, f_month_group, apb1, apb1_catalog)
+        estimate = estimate_io(plan, apb1)
+        assert estimate.fragment_count == 11_520
+        # 11,520 fragments * 12 bitmaps * 5 pages = the paper's 691,200.
+        assert estimate.bitmap_pages == 691_200
+
+    def test_fnosupp_orders_of_magnitude(self, apb1, apb1_catalog, f_store,
+                                         f_month_group, one_store):
+        reports = compare_fragmentations(
+            one_store, [f_store, f_month_group], apb1, apb1_catalog
+        )
+        good, bad = (r.estimate for r in reports)
+        # The paper's headline: several orders of magnitude difference
+        # (25 MB vs 31,075 MB -> factor ~1,200).
+        assert bad.total_mib / good.total_mib > 500
+        assert bad.fact_io_ops / good.fact_io_ops > 500
+
+    def test_format_table_renders(self, apb1, f_store, one_store):
+        reports = compare_fragmentations(one_store, [f_store], apb1)
+        text = format_table(reports)
+        assert "1STORE" in text
+        assert "IOC1-opt" in text
+        assert format_table([]) == "(no rows)"
+
+
+class TestStructuralProperties:
+    def test_ioc1_reads_whole_fragments(self, apb1, apb1_catalog, f_month_group):
+        query = StarQuery([Predicate.parse("time::month", 3)], name="1MONTH")
+        plan = plan_query(query, f_month_group, apb1, apb1_catalog)
+        estimate = estimate_io(plan, apb1)
+        assert estimate.fragment_count == 480
+        assert estimate.fact_pages == 480 * 795
+        assert estimate.bitmap_pages == 0
+
+    def test_bitmap_driven_reads_fewer_fact_pages(self, apb1, apb1_catalog, f_month_group):
+        # 1STORE reads less than the full table despite touching every
+        # fragment — the bitmaps identify hit granules.
+        query = StarQuery([Predicate.parse("customer::store", 7)])
+        plan = plan_query(query, f_month_group, apb1, apb1_catalog)
+        estimate = estimate_io(plan, apb1)
+        total_pages = 11_520 * 795
+        assert estimate.fact_pages < total_pages
+
+    def test_fact_pages_capped_at_fragment_size(self, apb1, apb1_catalog, f_month_group):
+        # A low-selectivity bitmap query (1 channel = 1/15) hits nearly
+        # every page; the model must not exceed the fragment extents.
+        query = StarQuery([Predicate.parse("channel::channel", 0)])
+        plan = plan_query(query, f_month_group, apb1, apb1_catalog)
+        estimate = estimate_io(plan, apb1)
+        assert estimate.fact_pages <= 11_520 * 795 + 1e-6
+
+    def test_adaptive_bitmap_granule_table6(self, apb1, apb1_catalog, one_store,
+                                            f_month_group, f_month_class, f_month_code):
+        # Table 6 granules: 5, 3, 1 pages for the three fragmentations.
+        params = IOCostParameters()
+        for frag, bitmap_pages_each in (
+            (f_month_group, 5),
+            (f_month_class, 3),
+            (f_month_code, 1),
+        ):
+            plan = plan_query(one_store, frag, apb1, apb1_catalog)
+            estimate = estimate_io(plan, apb1, params)
+            n = plan.fragment_count
+            assert estimate.bitmap_pages == n * 12 * bitmap_pages_each
+
+    def test_month_code_bitmap_explosion(self, apb1, apb1_catalog, one_store, f_month_code):
+        # "an extreme number of bitmap pages (more than 4 million)"
+        plan = plan_query(one_store, f_month_code, apb1, apb1_catalog)
+        estimate = estimate_io(plan, apb1)
+        assert estimate.bitmap_pages == 4_147_200
+
+    def test_fixed_bitmap_granule(self, apb1, apb1_catalog, one_store, f_month_group):
+        params = IOCostParameters(adaptive_bitmap_prefetch=False)
+        plan = plan_query(one_store, f_month_group, apb1, apb1_catalog)
+        estimate = estimate_io(plan, apb1, params)
+        assert estimate.bitmap_io_ops == 11_520 * 12  # one 5-page op each
+
+    def test_totals_consistent(self, apb1, apb1_catalog, one_store, f_month_group):
+        plan = plan_query(one_store, f_month_group, apb1, apb1_catalog)
+        estimate = estimate_io(plan, apb1)
+        assert estimate.total_pages == estimate.fact_pages + estimate.bitmap_pages
+        assert estimate.total_bytes == estimate.total_pages * 4096
+        assert estimate.total_ops == estimate.fact_io_ops + estimate.bitmap_io_ops

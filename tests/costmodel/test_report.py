@@ -1,0 +1,59 @@
+"""Cost report rows and rendering."""
+
+import pytest
+
+from repro.costmodel.report import CostReport, compare_fragmentations, format_table
+from repro.mdhf.query import Predicate, StarQuery
+from repro.mdhf.spec import Fragmentation
+
+
+@pytest.fixture
+def reports(apb1, apb1_catalog):
+    query = StarQuery([Predicate.parse("customer::store", 7)], name="1STORE")
+    return compare_fragmentations(
+        query,
+        [
+            Fragmentation.parse("customer::store"),
+            Fragmentation.parse("time::month", "product::group"),
+        ],
+        apb1,
+        apb1_catalog,
+    )
+
+
+class TestCompare:
+    def test_one_report_per_fragmentation(self, reports):
+        assert len(reports) == 2
+        assert [r.io_class.value for r in reports] == ["IOC1-opt", "IOC2-nosupp"]
+
+    def test_row_fields(self, reports):
+        row = reports[0].row()
+        assert row["query"] == "1STORE"
+        assert row["fragments"] == 1
+        assert row["fact_io_ops"] == 795
+        assert isinstance(row["total_mib"], float)
+
+    def test_default_catalog(self, apb1):
+        query = StarQuery([Predicate.parse("time::month", 0)], name="1MONTH")
+        reports = compare_fragmentations(
+            query, [Fragmentation.parse("time::month")], apb1
+        )
+        assert reports[0].io_class.value == "IOC1-opt"
+
+
+class TestFormat:
+    def test_renders_aligned_table(self, reports):
+        text = format_table(reports)
+        lines = text.splitlines()
+        assert len(lines) == 2 + len(reports)
+        # All lines padded to consistent width structure.
+        assert "fragmentation" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_report_is_self_describing(self, reports):
+        report = reports[1]
+        assert isinstance(report, CostReport)
+        assert "time::month" in str(report.fragmentation)

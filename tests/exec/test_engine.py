@@ -1,0 +1,102 @@
+"""Functional query engine vs the full-scan oracle."""
+
+import pytest
+
+from repro.exec.engine import WarehouseEngine
+from repro.exec.oracle import full_scan_aggregate
+from repro.mdhf.query import Predicate, StarQuery
+from repro.mdhf.spec import Fragmentation
+
+
+@pytest.fixture(scope="module")
+def engine(tiny_warehouse):
+    return WarehouseEngine(
+        tiny_warehouse, Fragmentation.parse("time::month", "product::group")
+    )
+
+
+def q(*preds, name="", measures=()):
+    return StarQuery(
+        [Predicate.parse(t, *vs) for t, *vs in preds], name=name, measures=measures
+    )
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize(
+        "preds",
+        [
+            [("time::month", 3)],
+            [("product::group", 5)],
+            [("time::month", 3), ("product::group", 5)],
+            [("product::code", 33), ("time::quarter", 2)],
+            [("customer::store", 7)],
+            [("customer::retailer", 2), ("channel::channel", 1)],
+            [("product::division", 1), ("time::year", 0)],
+            [("time::month", 0, 5, 11)],
+            [("product::code", 0, 1, 70)],
+        ],
+    )
+    def test_matches_full_scan(self, engine, tiny_warehouse, preds):
+        query = q(*preds)
+        got = engine.execute(query)
+        want = full_scan_aggregate(tiny_warehouse, query)
+        assert got.row_count == want.row_count
+        for measure, value in want.sums.items():
+            assert got.sums[measure] == pytest.approx(value)
+
+    def test_empty_predicate_query(self, engine, tiny_warehouse):
+        query = q()
+        got = engine.execute(query)
+        want = full_scan_aggregate(tiny_warehouse, query)
+        assert got.row_count == want.row_count == tiny_warehouse.row_count
+
+    def test_measure_subset(self, engine, tiny_warehouse):
+        query = q(("time::month", 1), measures=("units_sold",))
+        got = engine.execute(query)
+        assert set(got.sums) == {"units_sold"}
+        want = full_scan_aggregate(tiny_warehouse, query)
+        assert got.sum("units_sold") == pytest.approx(want.sum("units_sold"))
+
+    def test_unknown_measure_raises(self, engine):
+        result = engine.execute(q(("time::month", 1)))
+        with pytest.raises(KeyError):
+            result.sum("profit")
+
+
+class TestFragmentRestriction:
+    def test_exact_match_processes_one_fragment(self, engine):
+        result = engine.execute(q(("time::month", 3), ("product::group", 5)))
+        assert result.fragments_processed <= 1
+
+    def test_absorbed_predicates_skip_bitmaps(self, engine):
+        result = engine.execute(q(("time::month", 3), ("product::group", 5)))
+        assert result.bitmap_selections == 0
+
+    def test_non_fragmentation_dimension_uses_bitmaps(self, engine):
+        result = engine.execute(q(("customer::store", 7)))
+        assert result.bitmap_selections >= 1
+
+    def test_fragment_count_bounded_by_plan(self, engine, tiny_warehouse):
+        # 1CODE1QUARTER: at most 3 fragments (3 months of the quarter).
+        result = engine.execute(q(("product::code", 33), ("time::quarter", 2)))
+        assert result.fragments_processed <= 3
+
+
+class TestDifferentFragmentations:
+    @pytest.mark.parametrize(
+        "frag",
+        [
+            ("customer::store",),
+            ("channel::channel",),
+            ("time::year", "product::division"),
+            ("time::month", "product::code", "customer::retailer"),
+        ],
+    )
+    def test_all_fragmentations_agree(self, tiny_warehouse, frag):
+        engine = WarehouseEngine(tiny_warehouse, Fragmentation.parse(*frag))
+        query = q(("product::family", 4), ("time::quarter", 1))
+        got = engine.execute(query)
+        want = full_scan_aggregate(tiny_warehouse, query)
+        assert got.row_count == want.row_count
+        for measure, value in want.sums.items():
+            assert got.sums[measure] == pytest.approx(value)

@@ -1,0 +1,95 @@
+"""Command-line interface tests (in-process via cli.main)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_prints_schema_summary(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "1,866,240,000" in out
+        assert "total bitmaps: 76" in out
+
+    def test_scaled_schema(self, capsys):
+        assert main(["info", "--channels", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "product(28800)" in out
+
+
+class TestOptions:
+    def test_enumerates_all(self, capsys):
+        assert main(["options"]) == 0
+        out = capsys.readouterr().out
+        assert "167 fragmentation options" in out
+
+    def test_constraint_filters(self, capsys):
+        assert main(["options", "--min-bitmap-pages", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "45 fragmentation options" in out
+
+
+class TestCost:
+    def test_table3_style_output(self, capsys):
+        code = main([
+            "cost", "1STORE",
+            "-f", "customer::store",
+            "-f", "time::month,product::group",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IOC1-opt" in out
+        assert "IOC2-nosupp" in out
+
+    def test_requires_fragmentation(self, capsys):
+        assert main(["cost", "1STORE"]) == 2
+        assert "at least one" in capsys.readouterr().err
+
+
+class TestAdvise:
+    def test_recommends_candidates(self, capsys):
+        code = main([
+            "advise", "1MONTH1GROUP", "1CODE",
+            "--min-fragments", "100",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "past thresholds" in out
+        assert "time::month" in out
+
+    def test_impossible_thresholds_fail(self, capsys):
+        code = main([
+            "advise", "1MONTH", "--min-bitmap-pages", "1000000000",
+        ])
+        assert code == 1
+
+
+class TestSimulate:
+    def test_runs_small_simulation(self, capsys):
+        code = main([
+            "simulate", "1MONTH1GROUP",
+            "-f", "time::month,product::group",
+            "-d", "10", "-p", "4", "-t", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "avg response time" in out
+        assert "subqueries: 1" in out
+
+    def test_unknown_query_type_errors(self):
+        with pytest.raises(ValueError):
+            main([
+                "simulate", "1WAREHOUSE",
+                "-f", "time::month",
+            ])
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

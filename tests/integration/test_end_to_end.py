@@ -1,0 +1,95 @@
+"""End-to-end flows across all subsystems."""
+
+import random
+
+import pytest
+
+from repro import (
+    AdvisorConfig,
+    Fragmentation,
+    ParallelWarehouseSimulator,
+    SimulationParameters,
+    WarehouseEngine,
+    WorkloadGenerator,
+    full_scan_aggregate,
+    generate_warehouse,
+    query_type,
+    recommend_fragmentation,
+    tiny_schema,
+)
+
+
+class TestAdvisorToSimulatorFlow:
+    """Pick a fragmentation with the advisor, then simulate it."""
+
+    def test_recommended_fragmentation_beats_worst(self, apb1):
+        rng = random.Random(0)
+        queries = [query_type("1MONTH1GROUP").instantiate(apb1, rng)]
+        report = recommend_fragmentation(
+            apb1, queries, AdvisorConfig(min_fragments=8)
+        )
+        best = report.best
+        worst = report.candidates[-1]
+        assert best.weighted_io_pages <= worst.weighted_io_pages
+
+    def test_simulate_recommended_on_tiny(self, tiny):
+        rng = random.Random(0)
+        queries = [query_type("1MONTH1GROUP").instantiate(tiny, rng)]
+        report = recommend_fragmentation(
+            tiny, queries, AdvisorConfig(min_bitmap_fragment_pages=0.0)
+        )
+        params = SimulationParameters().with_hardware(
+            n_disks=4, n_nodes=2, subqueries_per_node=2
+        )
+        sim = ParallelWarehouseSimulator(tiny, report.best.fragmentation, params)
+        result = sim.run(queries)
+        assert result.avg_response_time > 0
+
+
+class TestWorkloadThroughEngine:
+    """Generated workloads produce correct results on the real engine."""
+
+    def test_generated_queries_on_engine(self, tiny, tiny_warehouse):
+        generator = WorkloadGenerator(
+            tiny, ["1MONTH1GROUP", "1STORE", "1CODE1QUARTER"], seed=11
+        )
+        engine = WarehouseEngine(
+            tiny_warehouse, Fragmentation.parse("time::month", "product::group")
+        )
+        for query in generator.stream(15):
+            got = engine.execute(query)
+            want = full_scan_aggregate(tiny_warehouse, query)
+            assert got.row_count == want.row_count
+
+
+class TestSimulatorAgainstEngineCounts:
+    """The simulator's routed fragment counts agree with the functional
+    engine's actually-processed fragments."""
+
+    def test_fragments_processed_consistent(self, tiny, tiny_warehouse):
+        frag = Fragmentation.parse("time::month", "product::group")
+        engine = WarehouseEngine(tiny_warehouse, frag)
+        params = SimulationParameters().with_hardware(
+            n_disks=4, n_nodes=2, subqueries_per_node=2
+        )
+        sim = ParallelWarehouseSimulator(tiny, frag, params)
+        generator = WorkloadGenerator(tiny, ["1MONTH1GROUP"], seed=3)
+        for query in generator.stream(5):
+            functional = engine.execute(query)
+            simulated = sim.run([query]).queries[0]
+            # The engine skips fragments empty at this density, so it
+            # may process fewer, never more.
+            assert functional.fragments_processed <= simulated.subqueries
+
+
+class TestFullPipelineDeterminism:
+    def test_seeded_pipeline_reproducible(self):
+        schema = tiny_schema()
+        warehouse = generate_warehouse(schema, seed=99)
+        frag = Fragmentation.parse("time::quarter", "product::family")
+        engine = WarehouseEngine(warehouse, frag)
+        generator = WorkloadGenerator(schema, ["1STORE"], seed=5)
+        first = [engine.execute(q).row_count for q in generator.stream(5)]
+        generator2 = WorkloadGenerator(schema, ["1STORE"], seed=5)
+        second = [engine.execute(q).row_count for q in generator2.stream(5)]
+        assert first == second

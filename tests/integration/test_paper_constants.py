@@ -1,0 +1,138 @@
+"""Cross-module integration: every derived constant of the paper.
+
+This is the "does the reproduction add up" test — each assertion cites
+the sentence of the paper it reproduces.
+"""
+
+import pytest
+
+from repro.bitmap.catalog import IndexCatalog
+from repro.bitmap.sizing import bitmap_bytes, bitmap_fragment_pages
+from repro.mdhf.elimination import eliminate_bitmaps
+from repro.mdhf.query import Predicate, StarQuery
+from repro.mdhf.routing import plan_query
+from repro.mdhf.spec import Fragmentation
+from repro.mdhf.thresholds import max_fragment_threshold, option_counts_by_dimensionality
+
+
+class TestSection3:
+    def test_fact_rows(self, apb1):
+        """'a density factor of 25% resulting in almost 2 billion fact rows'"""
+        assert apb1.fact_count == 1_866_240_000
+
+    def test_figure1_cardinalities(self, apb1):
+        """Figure 1: 14,400 codes, 1,440 stores, 15 channels, 24 months."""
+        assert apb1.dimension("product").cardinality == 14_400
+        assert apb1.dimension("customer").cardinality == 1_440
+        assert apb1.dimension("channel").cardinality == 15
+        assert apb1.dimension("time").cardinality == 24
+
+    def test_table1_encoding(self, apb1, apb1_catalog):
+        """Table 1: 3+2+3+2+1+4 = 15 bits; group prefix = 10 bits."""
+        product = apb1_catalog.descriptor("product")
+        assert product.encoding.widths == (3, 2, 3, 2, 1, 4)
+        assert product.bitmaps_for_selection("code") == 15
+        assert product.bitmaps_for_selection("group") == 10
+
+    def test_index_counts(self, apb1_catalog):
+        """'15 and 12 bitmaps' encoded; '34 and 15' simple; max 76."""
+        counts = {d.dimension: d.bitmap_count for d in apb1_catalog}
+        assert counts == {"product": 15, "customer": 12, "time": 34, "channel": 15}
+        assert apb1_catalog.total_bitmaps == 76
+
+
+class TestSection4:
+    def test_bitmap_223_mb(self, apb1):
+        """'each bitmap occupies 223 MB'"""
+        assert round(bitmap_bytes(apb1.fact_count) / 2**20) in (222, 223)
+
+    def test_month_group_11520_fragments(self, apb1, f_month_group):
+        """'FMonthGroup results in 24*480 = 11,520 fact fragments'"""
+        assert f_month_group.fragment_count(apb1) == 11_520
+
+    def test_month_group_32_bitmaps(self, apb1, apb1_catalog, f_month_group):
+        """'for FMonthGroup at most 32 bitmaps are thus to be maintained'"""
+        assert eliminate_bitmaps(apb1_catalog, f_month_group).total_kept == 32
+
+    def test_nmax_14238(self, apb1):
+        """'with PrefetchGran = 4 and PgSize = 4K we get nmax = 14,238'"""
+        assert max_fragment_threshold(apb1.fact_count, 4096, 4) == 14_238
+
+    def test_minimal_fragment_2_5_mb(self, apb1):
+        """'For a fact tuple size of 20 B, this corresponds to a minimal
+        fragment size of 2.5 MB.'"""
+        n_max = max_fragment_threshold(apb1.fact_count, 4096, 4)
+        fragment_mb = apb1.fact_count / n_max * 20 / 2**20
+        assert fragment_mb == pytest.approx(2.5, abs=0.05)
+
+    def test_table2_any_row(self, apb1):
+        """Table 2: 12 + 47 + 72 + 36 = 167 options."""
+        counts = option_counts_by_dimensionality(apb1)
+        assert counts == {1: 12, 2: 47, 3: 72, 4: 36}
+
+    def test_gcd_example(self):
+        """'Due to 480 and 100 having a gcd of 20, all relevant fragments
+        for 1CODE are located on only 5 disks.'"""
+        from repro.allocation.analysis import disks_touched_by_stride
+
+        assert disks_touched_by_stride(480, 24, 100) == 5
+
+
+class TestSection6:
+    def test_table6_fragment_counts(self, apb1, f_month_group, f_month_class,
+                                    f_month_code):
+        assert f_month_group.fragment_count(apb1) == 11_520
+        assert f_month_class.fragment_count(apb1) == 23_040
+        assert f_month_code.fragment_count(apb1) == 345_600
+
+    def test_table6_bitmap_fragment_sizes(self, apb1):
+        for n, expected in ((11_520, 4.9), (23_040, 2.5), (345_600, 0.16)):
+            assert bitmap_fragment_pages(apb1.fact_count, n, 4096) == pytest.approx(
+                expected, abs=0.05
+            )
+
+    def test_1store_12_bitmap_fragments(self, apb1, apb1_catalog, f_month_group):
+        """'the I/O-intensive 1STORE query type that has to access 12
+        bitmap fragments for each fact table fragment'"""
+        query = StarQuery([Predicate.parse("customer::store", 7)])
+        plan = plan_query(query, f_month_group, apb1, apb1_catalog)
+        assert plan.bitmaps_per_fragment == 12
+
+    def test_1store_hits_per_page(self, apb1):
+        """'only 1 in 7 pages of every fragment contains a hit' (with
+        ~200 tuples per page and selectivity 1/1440)."""
+        tuples_per_page = apb1.tuples_per_page(4096)
+        hits_per_page = tuples_per_page / 1440
+        import math
+
+        fraction = 1 - math.exp(-hits_per_page)
+        assert 1 / fraction == pytest.approx(7.5, abs=0.6)
+
+    def test_1code1quarter_16200_rows(self, apb1, apb1_catalog, f_month_group):
+        """'It has to process only 16,200 rows in total'"""
+        query = StarQuery(
+            [Predicate.parse("product::code", 33), Predicate.parse("time::quarter", 2)]
+        )
+        plan = plan_query(query, f_month_group, apb1, apb1_catalog)
+        assert plan.expected_hits == pytest.approx(16_200)
+
+    def test_1store_80x_more_hits_than_1code1quarter(self, apb1, apb1_catalog,
+                                                     f_month_group):
+        """'1STORE has about 80 times more hit tuples than 1CODE1QUARTER'"""
+        store = plan_query(
+            StarQuery([Predicate.parse("customer::store", 7)]),
+            f_month_group, apb1, apb1_catalog,
+        )
+        code_quarter = plan_query(
+            StarQuery([Predicate.parse("product::code", 33),
+                       Predicate.parse("time::quarter", 2)]),
+            f_month_group, apb1, apb1_catalog,
+        )
+        ratio = store.expected_hits / code_quarter.expected_hits
+        assert ratio == pytest.approx(80, rel=0.01)
+
+    def test_selectivity_within_group_1_in_30(self, apb1):
+        """'Within a product group, the selectivity is 1/30 for a certain
+        product.'"""
+        hierarchy = apb1.dimension("product").hierarchy
+        assert hierarchy.leaves_per_value("group") == 30

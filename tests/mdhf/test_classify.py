@@ -1,0 +1,102 @@
+"""Query taxonomy Q1-Q4 and I/O classes against the paper's examples."""
+
+import pytest
+
+from repro.mdhf.classify import IOClass, QueryClass, classify_io, classify_query
+from repro.mdhf.query import Predicate, StarQuery
+from repro.mdhf.spec import Fragmentation
+
+
+def q(*preds, name=""):
+    return StarQuery([Predicate.parse(t, v) for t, v in preds], name=name)
+
+
+class TestQueryClasses:
+    """Each case is an example from Section 4.2 (under F_MonthGroup)."""
+
+    def test_q1_exact_fragmentation_attributes(self, apb1, f_month_group):
+        query = q(("time::month", 0), ("product::group", 1), name="1MONTH1GROUP")
+        assert classify_query(query, f_month_group, apb1) is QueryClass.Q1_FRAGMENTATION_ATTRIBUTES
+
+    def test_q1_subset_of_fragmentation_attributes(self, apb1, f_month_group):
+        query = q(("product::group", 1), name="1GROUP")
+        assert classify_query(query, f_month_group, apb1) is QueryClass.Q1_FRAGMENTATION_ATTRIBUTES
+
+    def test_q1_with_extra_non_fragmentation_attribute(self, apb1, f_month_group):
+        query = q(("product::group", 1), ("customer::store", 7))
+        assert classify_query(query, f_month_group, apb1) is QueryClass.Q1_FRAGMENTATION_ATTRIBUTES
+
+    def test_q2_lower_level(self, apb1, f_month_group):
+        query = q(("product::code", 33), ("time::month", 0), name="1CODE1MONTH")
+        assert classify_query(query, f_month_group, apb1) is QueryClass.Q2_LOWER_LEVEL
+
+    def test_q2_single_dimension(self, apb1, f_month_group):
+        query = q(("product::code", 33), name="1CODE")
+        assert classify_query(query, f_month_group, apb1) is QueryClass.Q2_LOWER_LEVEL
+
+    def test_q3_higher_level(self, apb1, f_month_group):
+        query = q(("product::division", 3), name="1DIVISION")
+        assert classify_query(query, f_month_group, apb1) is QueryClass.Q3_HIGHER_LEVEL
+
+    def test_q3_quarter(self, apb1, f_month_group):
+        query = q(("time::quarter", 2), ("product::group", 7))
+        assert classify_query(query, f_month_group, apb1) is QueryClass.Q3_HIGHER_LEVEL
+
+    def test_q4_mixed(self, apb1, f_month_group):
+        # "a query for a specific product CODE and QUARTER"
+        query = q(("product::code", 33), ("time::quarter", 2), name="1CODE1QUARTER")
+        assert classify_query(query, f_month_group, apb1) is QueryClass.Q4_MIXED
+
+    def test_unsupported(self, apb1, f_month_group):
+        query = q(("customer::store", 7), name="1STORE")
+        assert classify_query(query, f_month_group, apb1) is QueryClass.UNSUPPORTED
+
+
+class TestIOClasses:
+    """I/O classes of Section 4.5."""
+
+    def test_ioc1_opt_exact_match_all_dimensions(self, apb1, f_month_group):
+        query = q(("time::month", 0), ("product::group", 1))
+        assert classify_io(query, f_month_group, apb1) is IOClass.IOC1_OPT
+
+    def test_ioc1_subset(self, apb1, f_month_group):
+        query = q(("time::month", 0), name="1MONTH")
+        assert classify_io(query, f_month_group, apb1) is IOClass.IOC1
+
+    def test_ioc1_higher_level(self, apb1, f_month_group):
+        query = q(("time::quarter", 1), ("product::group", 2))
+        assert classify_io(query, f_month_group, apb1) is IOClass.IOC1
+
+    def test_ioc2_lower_level(self, apb1, f_month_group):
+        query = q(("product::code", 33), ("time::month", 0))
+        assert classify_io(query, f_month_group, apb1) is IOClass.IOC2
+
+    def test_ioc2_extra_dimension(self, apb1, f_month_group):
+        # Q1 attributes plus a non-fragmentation dimension.
+        query = q(("product::group", 1), ("customer::store", 7))
+        assert classify_io(query, f_month_group, apb1) is IOClass.IOC2
+
+    def test_ioc2_nosupp_1store(self, apb1, f_month_group):
+        query = q(("customer::store", 7), name="1STORE")
+        assert classify_io(query, f_month_group, apb1) is IOClass.IOC2_NOSUPP
+
+    def test_1store_optimal_fragmentation(self, apb1, f_store):
+        query = q(("customer::store", 7), name="1STORE")
+        assert classify_io(query, f_store, apb1) is IOClass.IOC1_OPT
+
+    def test_needs_bitmaps_property(self):
+        assert IOClass.IOC2.needs_bitmaps
+        assert IOClass.IOC2_NOSUPP.needs_bitmaps
+        assert not IOClass.IOC1.needs_bitmaps
+        assert not IOClass.IOC1_OPT.needs_bitmaps
+
+    def test_empty_query_unsupported(self, apb1, f_month_group):
+        assert classify_io(StarQuery([]), f_month_group, apb1) is IOClass.IOC2_NOSUPP
+
+    def test_1code1quarter_table6_class(self, apb1, f_month_group, f_month_class, f_month_code):
+        # Section 6.3: IOC2 for F_MonthGroup / F_MonthClass, IOC1 for
+        # F_MonthCode.
+        query = q(("product::code", 33), ("time::quarter", 2))
+        assert classify_io(query, f_month_group, apb1) is IOClass.IOC2
+        assert classify_io(query, f_month_class, apb1) is IOClass.IOC2
+        assert classify_io(query, f_month_code, apb1) is IOClass.IOC1

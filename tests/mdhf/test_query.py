@@ -1,0 +1,109 @@
+"""Star-query model tests."""
+
+import random
+
+import pytest
+
+from repro.mdhf.query import Predicate, QueryTemplate, StarQuery
+from repro.schema.dimension import AttributeRef
+
+
+class TestPredicate:
+    def test_parse(self):
+        p = Predicate.parse("time::month", 3)
+        assert p.attribute == AttributeRef("time", "month")
+        assert p.values == (3,)
+
+    def test_needs_values(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            Predicate(AttributeRef("time", "month"), ())
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Predicate.parse("time::month", 1, 1)
+
+    def test_selectivity(self, apb1):
+        p = Predicate.parse("customer::store", 7)
+        assert p.selectivity(apb1) == pytest.approx(1 / 1440)
+        p3 = Predicate.parse("time::month", 0, 1, 2)
+        assert p3.selectivity(apb1) == pytest.approx(3 / 24)
+
+
+class TestStarQuery:
+    def test_one_predicate_per_dimension(self):
+        with pytest.raises(ValueError, match="one predicate per dimension"):
+            StarQuery(
+                [Predicate.parse("time::month", 1), Predicate.parse("time::year", 0)]
+            )
+
+    def test_validate_value_ranges(self, apb1):
+        q = StarQuery([Predicate.parse("time::month", 24)])
+        with pytest.raises(ValueError, match="out of range"):
+            q.validate(apb1)
+
+    def test_validate_unknown_attribute(self, apb1):
+        q = StarQuery([Predicate.parse("time::decade", 0)])
+        with pytest.raises(KeyError):
+            q.validate(apb1)
+
+    def test_expected_hits_1store(self, apb1):
+        q = StarQuery([Predicate.parse("customer::store", 7)], name="1STORE")
+        # "Due to its query selectivity of 1/1440" -> 1,296,000 hits.
+        assert q.expected_hits(apb1) == pytest.approx(1_296_000)
+
+    def test_expected_hits_combined(self, apb1):
+        q = StarQuery(
+            [
+                Predicate.parse("time::month", 0),
+                Predicate.parse("product::group", 0),
+            ],
+            name="1MONTH1GROUP",
+        )
+        assert q.expected_hits(apb1) == pytest.approx(
+            1_866_240_000 / 24 / 480
+        )
+
+    def test_dimensions(self):
+        q = StarQuery(
+            [Predicate.parse("time::month", 1), Predicate.parse("product::code", 2)]
+        )
+        assert q.dimensions() == {"time", "product"}
+
+    def test_empty_query_allowed(self, apb1):
+        q = StarQuery([])
+        assert q.selectivity(apb1) == 1.0
+
+
+class TestQueryTemplate:
+    def test_instantiate_draws_valid_values(self, apb1):
+        template = QueryTemplate(
+            name="1MONTH1GROUP",
+            attributes=(
+                AttributeRef("time", "month"),
+                AttributeRef("product", "group"),
+            ),
+        )
+        rng = random.Random(0)
+        for _ in range(20):
+            query = template.instantiate(apb1, rng)
+            query.validate(apb1)
+            assert query.name == "1MONTH1GROUP"
+            assert len(query.predicates) == 2
+
+    def test_values_per_attribute(self, apb1):
+        template = QueryTemplate(
+            name="3MONTH",
+            attributes=(AttributeRef("time", "month"),),
+            values_per_attribute=(3,),
+        )
+        query = template.instantiate(apb1, random.Random(1))
+        assert query.predicates[0].value_count == 3
+
+    def test_value_count_capped_at_cardinality(self, apb1):
+        template = QueryTemplate(
+            name="5YEAR",
+            attributes=(AttributeRef("time", "year"),),
+            values_per_attribute=(5,),
+        )
+        query = template.instantiate(apb1, random.Random(2))
+        assert query.predicates[0].value_count == 2  # only 2 years exist

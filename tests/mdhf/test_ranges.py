@@ -1,0 +1,206 @@
+"""General MDHF range fragmentation (Section 4.1's full definition)."""
+
+import pytest
+
+from repro.exec.engine import WarehouseEngine
+from repro.exec.oracle import full_scan_aggregate
+from repro.mdhf.classify import IOClass, classify_io
+from repro.mdhf.elimination import eliminate_bitmaps
+from repro.mdhf.fragments import FragmentGeometry
+from repro.mdhf.query import Predicate, StarQuery
+from repro.mdhf.ranges import RangePartition
+from repro.mdhf.routing import plan_query
+from repro.mdhf.spec import Fragmentation
+from repro.schema.dimension import AttributeRef
+
+
+class TestRangePartition:
+    def test_points_partition(self):
+        partition = RangePartition.points(5)
+        assert partition.is_point
+        assert partition.n_ranges == 5
+        assert [partition.range_of(v) for v in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_equal_width(self):
+        partition = RangePartition.equal_width(10, 3)
+        assert partition.n_ranges == 3
+        assert partition.values_of(0) == range(0, 3)
+        assert partition.values_of(1) == range(3, 6)
+        assert partition.values_of(2) == range(6, 10)
+
+    def test_range_of_binary_search(self):
+        partition = RangePartition.from_bounds(100, [0, 10, 50])
+        assert partition.range_of(0) == 0
+        assert partition.range_of(9) == 0
+        assert partition.range_of(10) == 1
+        assert partition.range_of(49) == 1
+        assert partition.range_of(99) == 2
+
+    def test_values_round_trip(self):
+        partition = RangePartition.from_bounds(24, [0, 6, 12, 18])
+        for index in range(partition.n_ranges):
+            for value in partition.values_of(index):
+                assert partition.range_of(value) == index
+
+    def test_ranges_covering(self):
+        partition = RangePartition.from_bounds(24, [0, 6, 12, 18])
+        assert list(partition.ranges_covering(range(0, 6))) == [0]
+        assert list(partition.ranges_covering(range(5, 13))) == [0, 1, 2]
+        assert list(partition.ranges_covering(range(0, 0))) == []
+
+    @pytest.mark.parametrize(
+        "cardinality,bounds",
+        [
+            (10, []),          # empty
+            (10, [1, 5]),      # must start at 0
+            (10, [0, 5, 5]),   # duplicates
+            (10, [0, 10]),     # bound beyond domain
+            (0, [0]),          # empty domain
+        ],
+    )
+    def test_invalid_partitions(self, cardinality, bounds):
+        with pytest.raises(ValueError):
+            RangePartition.from_bounds(cardinality, bounds)
+
+    def test_equal_width_bounds_check(self):
+        with pytest.raises(ValueError):
+            RangePartition.equal_width(5, 6)
+
+    def test_domain_check(self):
+        partition = RangePartition.points(4)
+        with pytest.raises(ValueError):
+            partition.range_of(4)
+        with pytest.raises(ValueError):
+            partition.values_of(4)
+
+
+class TestRangeFragmentationSpec:
+    def test_axis_sizes_use_range_counts(self, apb1):
+        frag = Fragmentation(
+            [AttributeRef("time", "month"), AttributeRef("product", "group")],
+            partitions={"time": RangePartition.equal_width(24, 4)},
+        )
+        assert frag.axis_sizes(apb1) == (4, 480)
+        assert frag.fragment_count(apb1) == 4 * 480
+
+    def test_point_partition_collapses_to_default(self, apb1):
+        explicit = Fragmentation(
+            [AttributeRef("time", "month")],
+            partitions={"time": RangePartition.points(24)},
+        )
+        assert explicit == Fragmentation.parse("time::month")
+        assert explicit.is_point_on("time")
+
+    def test_partition_for_unknown_dimension_rejected(self):
+        with pytest.raises(ValueError, match="not a fragmentation dimension"):
+            Fragmentation(
+                [AttributeRef("time", "month")],
+                partitions={"customer": RangePartition.points(10)},
+            )
+
+    def test_partition_domain_mismatch_caught(self, apb1):
+        frag = Fragmentation(
+            [AttributeRef("time", "month")],
+            partitions={"time": RangePartition.equal_width(12, 4)},
+        )
+        with pytest.raises(ValueError, match="cardinality"):
+            frag.validate(apb1)
+
+    def test_equality_includes_partitions(self, apb1):
+        a = Fragmentation(
+            [AttributeRef("time", "month")],
+            partitions={"time": RangePartition.equal_width(24, 4)},
+        )
+        b = Fragmentation.parse("time::month")
+        assert a != b
+        assert hash(a) != hash(b)
+
+
+class TestRangeRouting:
+    @pytest.fixture
+    def quarter_ranges(self, apb1):
+        """Months partitioned into 4 six-month ranges."""
+        del apb1
+        return Fragmentation(
+            [AttributeRef("time", "month"), AttributeRef("product", "group")],
+            partitions={"time": RangePartition.equal_width(24, 4)},
+        )
+
+    def test_exact_month_hits_one_range(self, apb1, quarter_ranges):
+        query = StarQuery(
+            [Predicate.parse("time::month", 7), Predicate.parse("product::group", 3)]
+        )
+        plan = plan_query(query, quarter_ranges, apb1)
+        assert plan.fragment_count == 1
+
+    def test_range_fragment_does_not_absorb(self, apb1, quarter_ranges):
+        # The selected fragment holds six months, so the month predicate
+        # still needs a bitmap (unlike the point fragmentation).
+        query = StarQuery([Predicate.parse("time::month", 7)])
+        plan = plan_query(query, quarter_ranges, apb1)
+        assert not plan.all_rows_relevant
+        assert any(
+            r.dimension == "time" for r in plan.bitmap_requirements
+        )
+        assert classify_io(query, quarter_ranges, apb1) is IOClass.IOC2
+
+    def test_coarse_query_spans_ranges(self, apb1, quarter_ranges):
+        # A year covers 12 months = 2 of the 4 ranges.
+        query = StarQuery([Predicate.parse("time::year", 0)])
+        plan = plan_query(query, quarter_ranges, apb1)
+        assert plan.fragment_count == 2 * 480
+
+    def test_point_axis_still_absorbs(self, apb1, quarter_ranges):
+        query = StarQuery([Predicate.parse("product::group", 3)])
+        plan = plan_query(query, quarter_ranges, apb1)
+        assert plan.fragment_count == 4
+        assert plan.all_rows_relevant  # group axis is a point axis
+
+    def test_elimination_skips_range_axes(self, apb1, apb1_catalog, quarter_ranges):
+        result = eliminate_bitmaps(apb1_catalog, quarter_ranges)
+        assert result.kept["time"] == 34      # nothing eliminated
+        assert result.eliminated["product"] == 10  # point axis still works
+
+    def test_fragment_of_row_uses_ranges(self, apb1, quarter_ranges):
+        geometry = FragmentGeometry(apb1, quarter_ranges)
+        keys = {"time": 13, "product": 35, "customer": 0, "channel": 0}
+        hierarchy = apb1.dimension("product").hierarchy
+        expected = geometry.linear_id((13 // 6, hierarchy.ancestor(35, "group")))
+        assert geometry.fragment_of_row(keys) == expected
+
+
+class TestRangeEngineCorrectness:
+    """The functional engine stays oracle-exact under range fragmentation."""
+
+    @pytest.fixture
+    def range_engine(self, tiny, tiny_warehouse):
+        frag = Fragmentation(
+            [AttributeRef("time", "month"), AttributeRef("product", "code")],
+            partitions={
+                "time": RangePartition.equal_width(12, 3),
+                "product": RangePartition.from_bounds(72, [0, 10, 40, 41]),
+            },
+        )
+        del tiny
+        return WarehouseEngine(tiny_warehouse, frag)
+
+    @pytest.mark.parametrize(
+        "preds",
+        [
+            [("time::month", 3)],
+            [("product::code", 33)],
+            [("time::quarter", 2), ("product::group", 5)],
+            [("customer::store", 7)],
+            [("time::year", 0), ("product::division", 1)],
+            [("time::month", 0, 11)],
+        ],
+    )
+    def test_matches_oracle(self, range_engine, tiny_warehouse, preds):
+        query = StarQuery(
+            [Predicate.parse(t, *vs) for t, *vs in preds]
+        )
+        got = range_engine.execute(query)
+        want = full_scan_aggregate(tiny_warehouse, query)
+        assert got.row_count == want.row_count
+        for measure, value in want.sums.items():
+            assert got.sums[measure] == pytest.approx(value)

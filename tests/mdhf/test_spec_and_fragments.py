@@ -1,0 +1,111 @@
+"""Fragmentation specs and fragment geometry."""
+
+import pytest
+
+from repro.mdhf.fragments import FragmentGeometry
+from repro.mdhf.spec import Fragmentation
+from repro.schema.dimension import AttributeRef
+
+
+class TestFragmentationSpec:
+    def test_parse(self):
+        f = Fragmentation.parse("time::month", "product::group")
+        assert f.attributes == (
+            AttributeRef("time", "month"),
+            AttributeRef("product", "group"),
+        )
+
+    def test_one_attribute_per_dimension(self):
+        with pytest.raises(ValueError, match="one fragmentation attribute"):
+            Fragmentation.parse("time::month", "time::year")
+
+    def test_needs_one_attribute(self):
+        with pytest.raises(ValueError, match="at least one attribute"):
+            Fragmentation([])
+
+    def test_fragment_count_month_group(self, apb1, f_month_group):
+        assert f_month_group.fragment_count(apb1) == 11_520
+
+    def test_fragment_counts_table6(self, apb1, f_month_class, f_month_code):
+        assert f_month_class.fragment_count(apb1) == 23_040
+        assert f_month_code.fragment_count(apb1) == 345_600
+
+    def test_covers_and_level_for(self, f_month_group):
+        assert f_month_group.covers("time")
+        assert not f_month_group.covers("customer")
+        assert f_month_group.level_for("product") == "group"
+        with pytest.raises(KeyError):
+            f_month_group.level_for("customer")
+
+    def test_validate_against_schema(self, apb1):
+        bad = Fragmentation.parse("product::aisle")
+        with pytest.raises(KeyError):
+            bad.validate(apb1)
+
+    def test_reordered_same_fragmentation(self, f_month_group):
+        swapped = f_month_group.reordered(["product", "time"])
+        assert swapped.dimensions() == f_month_group.dimensions()
+        assert swapped.attributes[0].dimension == "product"
+        assert swapped != f_month_group  # order matters for allocation
+
+    def test_reordered_requires_permutation(self, f_month_group):
+        with pytest.raises(ValueError):
+            f_month_group.reordered(["product"])
+
+    def test_equality_and_hash(self):
+        a = Fragmentation.parse("time::month")
+        b = Fragmentation.parse("time::month")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_str(self, f_month_group):
+        assert str(f_month_group) == "F{time::month, product::group}"
+
+
+class TestFragmentGeometry:
+    @pytest.fixture
+    def geometry(self, apb1, f_month_group):
+        return FragmentGeometry(apb1, f_month_group)
+
+    def test_fragment_count(self, geometry):
+        assert geometry.fragment_count == 11_520
+
+    def test_linear_id_row_major(self, geometry):
+        # Figure 2 order: all 480 groups of month 0 first.
+        assert geometry.linear_id((0, 0)) == 0
+        assert geometry.linear_id((0, 479)) == 479
+        assert geometry.linear_id((1, 0)) == 480
+        assert geometry.linear_id((23, 479)) == 11_519
+
+    def test_coordinate_round_trip(self, geometry):
+        for fragment_id in (0, 1, 480, 11_519, 4_242):
+            assert geometry.linear_id(geometry.coordinate(fragment_id)) == fragment_id
+
+    def test_out_of_range_rejected(self, geometry):
+        with pytest.raises(ValueError):
+            geometry.linear_id((24, 0))
+        with pytest.raises(ValueError):
+            geometry.coordinate(11_520)
+        with pytest.raises(ValueError):
+            geometry.linear_id((0,))
+
+    def test_fragment_of_row(self, apb1, geometry):
+        hierarchy = apb1.dimension("product").hierarchy
+        code = 65  # group 2
+        keys = {"time": 3, "product": code, "customer": 0, "channel": 0}
+        expected = geometry.linear_id((3, hierarchy.ancestor(code, "group")))
+        assert geometry.fragment_of_row(keys) == expected
+
+    def test_sizes_match_paper(self, geometry):
+        sizes = geometry.sizes(4096)
+        assert sizes.tuples_per_fragment == pytest.approx(162_000)
+        assert sizes.bitmap_bytes_per_fragment == pytest.approx(20_250)
+        assert sizes.bitmap_pages_per_fragment == pytest.approx(4.94, abs=0.01)
+
+    def test_page_round_up(self, geometry):
+        assert geometry.fact_pages_of_fragment(4096) == 795  # ceil(162000/204)
+        assert geometry.bitmap_pages_of_fragment(4096) == 5
+
+    def test_bitmap_pages_at_least_one(self, apb1, f_month_code):
+        geometry = FragmentGeometry(apb1, f_month_code)
+        assert geometry.bitmap_pages_of_fragment(4096) == 1

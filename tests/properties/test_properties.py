@@ -1,0 +1,330 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.bitvector import BitVector
+from repro.bitmap.encoded import HierarchicalEncoding
+from repro.costmodel.estimator import cardenas, yao
+from repro.mdhf.fragments import FragmentGeometry
+from repro.mdhf.query import Predicate, StarQuery
+from repro.mdhf.routing import plan_query
+from repro.mdhf.spec import Fragmentation
+from repro.schema.apb1 import apb1_schema, tiny_schema
+from repro.schema.hierarchy import Hierarchy
+from repro.sim.database import _Spreader
+
+# Session-level schema objects (hypothesis forbids function-scoped
+# fixtures, so build once at module import).
+APB1 = apb1_schema()
+TINY = tiny_schema()
+
+# -- strategies -------------------------------------------------------------
+
+bool_arrays = st.integers(1, 200).flatmap(
+    lambda n: st.lists(st.booleans(), min_size=n, max_size=n)
+)
+
+
+@st.composite
+def hierarchies(draw):
+    n_levels = draw(st.integers(1, 5))
+    fanouts = [draw(st.integers(1, 6)) for _ in range(n_levels)]
+    names = [f"l{i}" for i in range(n_levels)]
+    return Hierarchy.from_fanouts(names, fanouts)
+
+
+@st.composite
+def tiny_fragmentations(draw):
+    dims = ["product", "customer", "channel", "time"]
+    chosen = draw(
+        st.lists(st.sampled_from(dims), min_size=1, max_size=4, unique=True)
+    )
+    attrs = []
+    for dim in chosen:
+        levels = [l.name for l in TINY.dimension(dim).hierarchy]
+        attrs.append(TINY.dimension(dim).attribute(draw(st.sampled_from(levels))))
+    return Fragmentation(attrs)
+
+
+@st.composite
+def tiny_queries(draw):
+    dims = ["product", "customer", "channel", "time"]
+    chosen = draw(
+        st.lists(st.sampled_from(dims), min_size=1, max_size=3, unique=True)
+    )
+    predicates = []
+    for dim in chosen:
+        levels = [l.name for l in TINY.dimension(dim).hierarchy]
+        level = draw(st.sampled_from(levels))
+        cardinality = TINY.dimension(dim).level(level).cardinality
+        n_values = draw(st.integers(1, min(3, cardinality)))
+        values = draw(
+            st.lists(
+                st.integers(0, cardinality - 1),
+                min_size=n_values,
+                max_size=n_values,
+                unique=True,
+            )
+        )
+        predicates.append(
+            Predicate(TINY.dimension(dim).attribute(level), tuple(values))
+        )
+    return StarQuery(predicates)
+
+
+# -- bit vector algebra --------------------------------------------------------
+
+
+class TestBitVectorLaws:
+    @given(bool_arrays)
+    def test_invert_involution(self, bits):
+        v = BitVector.from_bool_array(np.array(bits, dtype=bool))
+        assert ~(~v) == v
+
+    @given(bool_arrays)
+    def test_complement_counts(self, bits):
+        v = BitVector.from_bool_array(np.array(bits, dtype=bool))
+        assert v.count() + (~v).count() == len(v)
+
+    @given(bool_arrays, st.randoms())
+    def test_de_morgan(self, bits, rng):
+        v = BitVector.from_bool_array(np.array(bits, dtype=bool))
+        shuffled = list(bits)
+        rng.shuffle(shuffled)
+        w = BitVector.from_bool_array(np.array(shuffled, dtype=bool))
+        assert ~(v & w) == (~v | ~w)
+        assert ~(v | w) == (~v & ~w)
+
+    @given(bool_arrays)
+    def test_round_trip_through_numpy(self, bits):
+        array = np.array(bits, dtype=bool)
+        assert np.array_equal(
+            BitVector.from_bool_array(array).to_bool_array(), array
+        )
+
+    @given(bool_arrays, st.data())
+    def test_slice_concatenation_preserves_count(self, bits, data):
+        v = BitVector.from_bool_array(np.array(bits, dtype=bool))
+        cut = data.draw(st.integers(0, len(v)))
+        assert v.slice(0, cut).count() + v.slice(cut, len(v)).count() == v.count()
+
+
+# -- hierarchical encoding -------------------------------------------------------
+
+
+class TestEncodingProperties:
+    @given(hierarchies(), st.data())
+    def test_leaf_round_trip(self, hierarchy, data):
+        encoding = HierarchicalEncoding(hierarchy)
+        leaf = data.draw(st.integers(0, hierarchy.leaf.cardinality - 1))
+        assert encoding.decode(encoding.encode(hierarchy.leaf.name, leaf)) == leaf
+
+    @given(hierarchies(), st.data())
+    def test_prefix_shared_iff_same_ancestor(self, hierarchy, data):
+        encoding = HierarchicalEncoding(hierarchy)
+        level = data.draw(st.sampled_from([l.name for l in hierarchy]))
+        a = data.draw(st.integers(0, hierarchy.leaf.cardinality - 1))
+        b = data.draw(st.integers(0, hierarchy.leaf.cardinality - 1))
+        width = encoding.prefix_width(level)
+        total = encoding.total_width
+        prefix_a = encoding.encode(hierarchy.leaf.name, a) >> (total - width)
+        prefix_b = encoding.encode(hierarchy.leaf.name, b) >> (total - width)
+        same_ancestor = hierarchy.ancestor(a, level) == hierarchy.ancestor(b, level)
+        assert (prefix_a == prefix_b) == same_ancestor
+
+    @given(hierarchies())
+    def test_width_bounds(self, hierarchy):
+        encoding = HierarchicalEncoding(hierarchy)
+        # Enough bits for every leaf, at most log2 of the fanout rounded
+        # up per level.
+        assert 2 ** encoding.total_width >= hierarchy.leaf.cardinality
+
+
+# -- fragment geometry ---------------------------------------------------------------
+
+
+class TestFragmentationProperties:
+    @settings(max_examples=50)
+    @given(tiny_fragmentations(), st.data())
+    def test_linear_id_bijective(self, fragmentation, data):
+        geometry = FragmentGeometry(TINY, fragmentation)
+        fragment_id = data.draw(st.integers(0, geometry.fragment_count - 1))
+        assert geometry.linear_id(geometry.coordinate(fragment_id)) == fragment_id
+
+    @settings(max_examples=50)
+    @given(tiny_fragmentations(), st.data())
+    def test_every_row_maps_to_selected_fragment(self, fragmentation, data):
+        """Routing completeness: a random row matching the query always
+        lives in a fragment the plan selects."""
+        geometry = FragmentGeometry(TINY, fragmentation)
+        query = data.draw(tiny_queries())
+        plan = plan_query(query, fragmentation, TINY)
+        # Build a random row consistent with the query predicates.
+        keys = {}
+        for dim in TINY.dimensions:
+            predicate = query.predicate_for(dim.name)
+            if predicate is None:
+                keys[dim.name] = data.draw(
+                    st.integers(0, dim.cardinality - 1)
+                )
+            else:
+                value = data.draw(st.sampled_from(list(predicate.values)))
+                leaf_range = dim.hierarchy.leaf_range(
+                    predicate.attribute.level, value
+                )
+                keys[dim.name] = data.draw(
+                    st.integers(leaf_range.start, leaf_range.stop - 1)
+                )
+        fragment_id = geometry.fragment_of_row(keys)
+        selected = set(plan.iter_fragment_ids(geometry))
+        assert fragment_id in selected
+
+    @settings(max_examples=30)
+    @given(tiny_fragmentations(), st.data())
+    def test_fragment_counts_multiply(self, fragmentation, data):
+        del data
+        geometry = FragmentGeometry(TINY, fragmentation)
+        expected = 1
+        for attr in fragmentation.attributes:
+            expected *= TINY.attribute_cardinality(attr)
+        assert geometry.fragment_count == expected
+
+
+# -- estimators ----------------------------------------------------------------------
+
+
+class TestEstimatorProperties:
+    @given(
+        st.integers(10, 100_000),
+        st.integers(1, 500),
+        st.integers(0, 1000),
+    )
+    def test_yao_bounds(self, n, m, k):
+        k = min(k, n)
+        m = min(m, n)
+        blocks = -(-n // m)
+        value = yao(n, m, k)
+        assert 0.0 <= value <= blocks + 1e-9
+        assert value >= min(1.0, k) - 1e-9 or k == 0
+
+    @given(st.integers(1, 10_000), st.floats(0, 1e6, allow_nan=False))
+    def test_cardenas_bounds(self, blocks, hits):
+        value = cardenas(blocks, hits)
+        assert 0.0 <= value <= blocks + 1e-9
+
+    @given(st.integers(10, 10_000), st.integers(1, 100), st.data())
+    def test_yao_monotone(self, n, m, data):
+        m = min(m, n)
+        k1 = data.draw(st.integers(0, n))
+        k2 = data.draw(st.integers(0, n))
+        low, high = sorted((k1, k2))
+        assert yao(n, m, low) <= yao(n, m, high) + 1e-9
+
+
+# -- spreader --------------------------------------------------------------------------
+
+
+class TestSpreaderProperties:
+    @given(st.floats(0, 1000, allow_nan=False), st.integers(1, 500))
+    def test_sum_matches_rate(self, rate, count):
+        spreader = _Spreader(rate)
+        total = sum(spreader.next() for _ in range(count))
+        assert total == int(np.floor(rate * count + 1e-9))
+
+    @given(st.floats(0, 1000, allow_nan=False), st.integers(1, 500))
+    def test_values_near_rate(self, rate, count):
+        spreader = _Spreader(rate)
+        for _ in range(count):
+            value = spreader.next()
+            assert abs(value - rate) <= 1.0
+
+
+# -- plan invariants on full-scale APB-1 ---------------------------------------------
+
+
+class TestPlanInvariantsAPB1:
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_fragment_count_divides_total(self, data):
+        frag = Fragmentation.parse("time::month", "product::group")
+        level = data.draw(
+            st.sampled_from(
+                ["month", "quarter", "year"]
+            )
+        )
+        cardinality = APB1.dimension("time").level(level).cardinality
+        value = data.draw(st.integers(0, cardinality - 1))
+        query = StarQuery(
+            [Predicate(APB1.dimension("time").attribute(level), (value,))]
+        )
+        plan = plan_query(query, frag, APB1)
+        assert 11_520 % plan.fragment_count == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_hits_conserved_across_fragmentations(self, data):
+        store = data.draw(st.integers(0, 1439))
+        query = StarQuery([Predicate.parse("customer::store", store)])
+        for frag in (
+            Fragmentation.parse("time::month", "product::group"),
+            Fragmentation.parse("customer::store"),
+            Fragmentation.parse("channel::channel"),
+        ):
+            plan = plan_query(query, frag, APB1)
+            assert plan.expected_hits == pytest.approx(1_296_000)
+
+
+# -- range partitions -----------------------------------------------------------
+
+
+class TestRangePartitionProperties:
+    @given(st.integers(1, 500), st.data())
+    def test_ranges_partition_the_domain(self, cardinality, data):
+        """Ranges are disjoint and complete over [0, cardinality)."""
+        from repro.mdhf.ranges import RangePartition
+
+        n_ranges = data.draw(st.integers(1, cardinality))
+        partition = RangePartition.equal_width(cardinality, n_ranges)
+        covered = []
+        for index in range(partition.n_ranges):
+            covered.extend(partition.values_of(index))
+        assert covered == list(range(cardinality))
+
+    @given(st.integers(1, 500), st.data())
+    def test_range_of_inverts_values_of(self, cardinality, data):
+        from repro.mdhf.ranges import RangePartition
+
+        bounds = sorted(
+            {0}
+            | set(
+                data.draw(
+                    st.lists(
+                        st.integers(0, cardinality - 1), max_size=8
+                    )
+                )
+            )
+        )
+        partition = RangePartition.from_bounds(cardinality, bounds)
+        value = data.draw(st.integers(0, cardinality - 1))
+        index = partition.range_of(value)
+        assert value in partition.values_of(index)
+
+    @given(st.integers(2, 300), st.data())
+    def test_ranges_covering_is_exact(self, cardinality, data):
+        """ranges_covering returns exactly the intersecting ranges."""
+        from repro.mdhf.ranges import RangePartition
+
+        n_ranges = data.draw(st.integers(1, cardinality))
+        partition = RangePartition.equal_width(cardinality, n_ranges)
+        start = data.draw(st.integers(0, cardinality - 1))
+        stop = data.draw(st.integers(start + 1, cardinality))
+        span = range(start, stop)
+        covering = set(partition.ranges_covering(span))
+        for index in range(partition.n_ranges):
+            intersects = bool(set(partition.values_of(index)) & set(span))
+            assert (index in covering) == intersects

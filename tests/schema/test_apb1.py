@@ -1,0 +1,84 @@
+"""APB-1 schema builders reproduce Section 3.1 exactly."""
+
+import pytest
+
+from repro.schema.apb1 import apb1_schema, tiny_schema
+
+
+class TestApb1Defaults:
+    """Every derived figure of the paper's 15-channel configuration."""
+
+    def test_fact_cardinality(self, apb1):
+        assert apb1.fact_count == 1_866_240_000
+
+    def test_combination_count(self, apb1):
+        assert apb1.combination_count == 7_464_960_000
+
+    def test_product_hierarchy(self, apb1):
+        cards = [l.cardinality for l in apb1.dimension("product").hierarchy]
+        assert cards == [8, 24, 120, 480, 960, 14400]
+
+    def test_product_fanouts_match_table1(self, apb1):
+        fanouts = [l.fanout for l in apb1.dimension("product").hierarchy]
+        assert fanouts == [8, 3, 5, 4, 2, 15]
+
+    def test_customer_hierarchy(self, apb1):
+        cards = [l.cardinality for l in apb1.dimension("customer").hierarchy]
+        assert cards == [144, 1440]
+
+    def test_time_hierarchy(self, apb1):
+        cards = [l.cardinality for l in apb1.dimension("time").hierarchy]
+        assert cards == [2, 8, 24]
+
+    def test_channel(self, apb1):
+        assert apb1.dimension("channel").cardinality == 15
+
+    def test_fact_bytes(self, apb1):
+        assert apb1.fact_bytes == 1_866_240_000 * 20
+
+    def test_measures(self, apb1):
+        assert apb1.fact.measures == ("units_sold", "dollar_sales", "cost")
+
+
+class TestApb1Scaling:
+    def test_channels_scale_codes_and_stores(self):
+        schema = apb1_schema(channels=30)
+        assert schema.dimension("product").cardinality == 28_800
+        assert schema.dimension("customer").cardinality == 2_880
+        assert schema.dimension("channel").cardinality == 30
+
+    def test_inner_fanouts_fixed_under_scaling(self):
+        schema = apb1_schema(channels=30)
+        fanouts = [l.fanout for l in schema.dimension("product").hierarchy]
+        assert fanouts[:5] == [8, 3, 5, 4, 2]
+
+    def test_months_scale_years(self):
+        schema = apb1_schema(months=36)
+        assert schema.dimension("time").hierarchy.level("year").cardinality == 3
+
+    def test_invalid_months_rejected(self):
+        with pytest.raises(ValueError, match="whole years"):
+            apb1_schema(months=10)
+
+    def test_invalid_channels_rejected(self):
+        with pytest.raises(ValueError):
+            apb1_schema(channels=0)
+        # odd channel count: codes not divisible into 960 classes
+        with pytest.raises(ValueError):
+            apb1_schema(channels=7)
+
+    def test_density_scales_linearly(self):
+        half = apb1_schema(density=0.125)
+        assert half.fact_count == 1_866_240_000 // 2
+
+
+class TestTinySchema:
+    def test_structure_mirrors_apb1(self, tiny):
+        assert tiny.dimension_names() == ("product", "customer", "channel", "time")
+        product = tiny.dimension("product").hierarchy
+        assert [l.name for l in product] == [
+            "division", "line", "family", "group", "class", "code",
+        ]
+
+    def test_small_enough_to_materialise(self, tiny):
+        assert tiny.fact_count < 100_000

@@ -1,0 +1,77 @@
+"""Synthetic warehouse generation: APB-1 semantics at small scale."""
+
+import numpy as np
+import pytest
+
+from repro.schema.apb1 import apb1_schema
+from repro.schema.datagen import generate_warehouse
+
+
+class TestGeneration:
+    def test_row_count_matches_density(self, tiny, tiny_warehouse):
+        assert tiny_warehouse.row_count == tiny.fact_count
+
+    def test_keys_in_range(self, tiny, tiny_warehouse):
+        for dim in tiny.dimensions:
+            column = tiny_warehouse.column(dim.name)
+            assert column.min() >= 0
+            assert column.max() < dim.cardinality
+
+    def test_combinations_are_distinct(self, tiny, tiny_warehouse):
+        # Each foreign-key combination occurs at most once (APB-1 density
+        # semantics: a fraction of the combination space, no duplicates).
+        combos = np.zeros(tiny_warehouse.row_count, dtype=np.int64)
+        for dim in tiny.dimensions:
+            combos = combos * dim.cardinality + tiny_warehouse.column(dim.name)
+        assert len(np.unique(combos)) == tiny_warehouse.row_count
+
+    def test_deterministic_under_seed(self, tiny):
+        a = generate_warehouse(tiny, seed=5)
+        b = generate_warehouse(tiny, seed=5)
+        for name in a.keys:
+            assert np.array_equal(a.keys[name], b.keys[name])
+        for name in a.measures:
+            assert np.array_equal(a.measures[name], b.measures[name])
+
+    def test_different_seeds_differ(self, tiny):
+        a = generate_warehouse(tiny, seed=5)
+        b = generate_warehouse(tiny, seed=6)
+        assert any(
+            not np.array_equal(a.keys[name], b.keys[name]) for name in a.keys
+        )
+
+    def test_measures_present(self, tiny, tiny_warehouse):
+        for name in tiny.fact.measures:
+            assert len(tiny_warehouse.measure(name)) == tiny_warehouse.row_count
+
+    def test_refuses_full_scale(self):
+        with pytest.raises(ValueError, match="refusing to materialise"):
+            generate_warehouse(apb1_schema())
+
+    def test_unknown_column_raises(self, tiny_warehouse):
+        with pytest.raises(KeyError):
+            tiny_warehouse.column("nope")
+        with pytest.raises(KeyError):
+            tiny_warehouse.measure("nope")
+
+
+class TestLevelColumn:
+    def test_ancestor_mapping(self, tiny, tiny_warehouse):
+        hierarchy = tiny.dimension("product").hierarchy
+        codes = tiny_warehouse.column("product")
+        groups = tiny_warehouse.level_column("product", "group")
+        width = hierarchy.leaves_per_value("group")
+        assert np.array_equal(groups, codes // width)
+
+    def test_leaf_level_column_is_key(self, tiny_warehouse):
+        assert np.array_equal(
+            tiny_warehouse.level_column("customer", "store"),
+            tiny_warehouse.column("customer"),
+        )
+
+    def test_roughly_uniform_distribution(self, tiny, tiny_warehouse):
+        # Uniform sampling of the combination space: each channel gets
+        # about half the rows of the 2-channel tiny schema.
+        channels = tiny_warehouse.column("channel")
+        share = float((channels == 0).mean())
+        assert 0.45 < share < 0.55

@@ -1,0 +1,104 @@
+"""Unit tests for dimensions, attribute refs, fact table and star schema."""
+
+import pytest
+
+from repro.schema.dimension import AttributeRef, Dimension
+from repro.schema.fact import FactTable, SchemaStatistics, StarSchema
+from repro.schema.hierarchy import Hierarchy
+
+
+@pytest.fixture
+def dim():
+    return Dimension("time", Hierarchy.from_fanouts(["year", "quarter", "month"], [2, 4, 3]))
+
+
+class TestAttributeRef:
+    def test_parse(self):
+        ref = AttributeRef.parse("product::group")
+        assert ref.dimension == "product"
+        assert ref.level == "group"
+
+    @pytest.mark.parametrize("bad", ["product", "::", "a::", "::b", "a::b::c"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            AttributeRef.parse(bad)
+
+    def test_str_round_trip(self):
+        ref = AttributeRef("time", "month")
+        assert AttributeRef.parse(str(ref)) == ref
+
+
+class TestDimension:
+    def test_cardinality_is_leaf(self, dim):
+        assert dim.cardinality == 24
+
+    def test_attribute_validates_level(self, dim):
+        assert dim.attribute("quarter") == AttributeRef("time", "quarter")
+        with pytest.raises(KeyError):
+            dim.attribute("decade")
+
+    def test_empty_name_rejected(self, dim):
+        with pytest.raises(ValueError):
+            Dimension("", dim.hierarchy)
+
+
+class TestFactTable:
+    def test_density_bounds(self):
+        with pytest.raises(ValueError):
+            FactTable("f", (), density=0.0)
+        with pytest.raises(ValueError):
+            FactTable("f", (), density=1.5)
+
+    def test_tuple_size_positive(self):
+        with pytest.raises(ValueError):
+            FactTable("f", (), density=0.5, tuple_size_bytes=0)
+
+
+class TestStarSchema:
+    def test_fact_count_applies_density(self, tiny):
+        assert tiny.fact_count == round(tiny.combination_count * 0.25)
+
+    def test_requires_dimensions(self):
+        fact = FactTable("f", (), density=0.5)
+        with pytest.raises(ValueError, match="at least one dimension"):
+            StarSchema(fact, [])
+
+    def test_duplicate_dimensions_rejected(self, dim):
+        fact = FactTable("f", (), density=0.5)
+        with pytest.raises(ValueError, match="duplicate"):
+            StarSchema(fact, [dim, dim])
+
+    def test_dimension_lookup(self, tiny):
+        assert tiny.dimension("product").name == "product"
+        with pytest.raises(KeyError):
+            tiny.dimension("nope")
+
+    def test_resolve_validates(self, tiny):
+        ref = tiny.resolve("product::group")
+        assert ref.level == "group"
+        with pytest.raises(KeyError):
+            tiny.resolve("product::month")
+        with pytest.raises(KeyError):
+            tiny.resolve("nowhere::group")
+
+    def test_attribute_cardinality(self, apb1):
+        assert apb1.attribute_cardinality("product::group") == 480
+        assert apb1.attribute_cardinality("customer::retailer") == 144
+
+    def test_tuples_per_page_floor(self, apb1):
+        # 4096 / 20 = 204.8 -> 204 whole tuples per page.
+        assert apb1.tuples_per_page(4096) == 204
+
+    def test_tuples_per_page_too_small(self, apb1):
+        with pytest.raises(ValueError, match="smaller than one fact tuple"):
+            apb1.tuples_per_page(10)
+
+    def test_fact_pages(self, tiny):
+        pages = tiny.fact_pages(4096)
+        per_page = 4096 // 20
+        assert pages == -(-tiny.fact_count // per_page)
+
+    def test_statistics(self, tiny):
+        stats = SchemaStatistics.of(tiny)
+        assert stats.fact_count == tiny.fact_count
+        assert stats.dimension_cardinalities["customer"] == 20

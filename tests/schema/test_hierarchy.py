@@ -1,0 +1,125 @@
+"""Unit tests for dimension hierarchies."""
+
+import pytest
+
+from repro.schema.hierarchy import Hierarchy, Level
+
+
+@pytest.fixture
+def product():
+    return Hierarchy.from_fanouts(
+        ["division", "line", "family", "group", "class", "code"],
+        [8, 3, 5, 4, 2, 15],
+    )
+
+
+class TestLevel:
+    def test_rejects_nonpositive_cardinality(self):
+        with pytest.raises(ValueError, match="cardinality"):
+            Level(name="x", cardinality=0, fanout=1)
+
+    def test_rejects_nonpositive_fanout(self):
+        with pytest.raises(ValueError, match="fanout"):
+            Level(name="x", cardinality=1, fanout=0)
+
+
+class TestConstruction:
+    def test_from_fanouts_cardinalities(self, product):
+        assert [l.cardinality for l in product] == [8, 24, 120, 480, 960, 14400]
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ValueError, match="at least one level"):
+            Hierarchy([])
+
+    def test_duplicate_level_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Hierarchy.from_fanouts(["a", "a"], [2, 3])
+
+    def test_inconsistent_cardinality_rejected(self):
+        levels = [
+            Level("a", cardinality=2, fanout=2),
+            Level("b", cardinality=5, fanout=3),  # should be 6
+        ]
+        with pytest.raises(ValueError, match="inconsistent"):
+            Hierarchy(levels)
+
+    def test_mismatched_names_fanouts_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            Hierarchy.from_fanouts(["a", "b"], [2])
+
+    def test_single_level(self):
+        h = Hierarchy.from_fanouts(["channel"], [15])
+        assert h.root is h.leaf
+        assert h.leaf.cardinality == 15
+
+
+class TestNavigation:
+    def test_level_lookup(self, product):
+        assert product.level("group").cardinality == 480
+
+    def test_unknown_level_raises(self, product):
+        with pytest.raises(KeyError, match="no level"):
+            product.level("nope")
+
+    def test_depth(self, product):
+        assert product.depth("division") == 0
+        assert product.depth("code") == 5
+
+    def test_is_above(self, product):
+        assert product.is_above("group", "code")
+        assert not product.is_above("code", "group")
+        assert not product.is_above("group", "group")
+
+    def test_contains(self, product):
+        assert "class" in product
+        assert "month" not in product
+
+    def test_iteration_order_root_to_leaf(self, product):
+        names = [l.name for l in product]
+        assert names == ["division", "line", "family", "group", "class", "code"]
+
+
+class TestValueMapping:
+    def test_leaves_per_value(self, product):
+        assert product.leaves_per_value("group") == 30
+        assert product.leaves_per_value("code") == 1
+        assert product.leaves_per_value("division") == 1800
+
+    def test_leaf_range_contiguous(self, product):
+        r = product.leaf_range("group", 2)
+        assert r == range(60, 90)
+
+    def test_ancestor(self, product):
+        assert product.ancestor(0, "division") == 0
+        assert product.ancestor(14399, "division") == 7
+        assert product.ancestor(65, "group") == 2
+
+    def test_ancestor_of_leaf_range_is_value(self, product):
+        for value in (0, 7, 479):
+            for leaf in (
+                product.leaf_range("group", value)[0],
+                product.leaf_range("group", value)[-1],
+            ):
+                assert product.ancestor(leaf, "group") == value
+
+    def test_project_down(self, product):
+        descendants = product.project("group", 3, "class")
+        assert descendants == range(6, 8)
+
+    def test_project_up(self, product):
+        assert product.project("code", 65, "group") == range(2, 3)
+
+    def test_project_same_level(self, product):
+        assert product.project("class", 9, "class") == range(9, 10)
+
+    def test_project_transitive(self, product):
+        # group -> code -> group round-trips.
+        for group in (0, 100, 479):
+            for code in product.project("group", group, "code"):
+                assert product.ancestor(code, "group") == group
+
+    def test_value_out_of_range(self, product):
+        with pytest.raises(ValueError, match="out of range"):
+            product.leaf_range("group", 480)
+        with pytest.raises(ValueError, match="out of range"):
+            product.ancestor(14400, "group")

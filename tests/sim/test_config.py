@@ -1,0 +1,65 @@
+"""SimulationParameters validation and helpers."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.sim.config import SimulationParameters
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        params = SimulationParameters()
+        assert params.hardware.n_disks == 100
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("io_coalesce", 0),
+            ("cluster_factor", 0),
+            ("data_skew", -1.0),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            replace(SimulationParameters(), **{field: value})
+
+    def test_invalid_hardware_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationParameters().with_hardware(n_disks=0)
+        with pytest.raises(ValueError):
+            SimulationParameters().with_hardware(n_nodes=0)
+        with pytest.raises(ValueError):
+            SimulationParameters().with_hardware(subqueries_per_node=0)
+
+
+class TestWithHardware:
+    def test_returns_modified_copy(self):
+        base = SimulationParameters()
+        varied = base.with_hardware(n_disks=20, n_nodes=5)
+        assert varied.hardware.n_disks == 20
+        assert varied.hardware.n_nodes == 5
+        assert base.hardware.n_disks == 100  # original untouched
+        assert varied.disk == base.disk  # other groups shared
+
+    def test_frozen(self):
+        params = SimulationParameters()
+        with pytest.raises(Exception):
+            params.io_coalesce = 4  # type: ignore[misc]
+
+
+class TestBitmapGranuleRule:
+    def test_adaptive_matches_table6(self):
+        from repro.costmodel.iocost import IOCostParameters
+
+        params = IOCostParameters()
+        assert params.bitmap_granule(4.94) == 5
+        assert params.bitmap_granule(2.47) == 3
+        assert params.bitmap_granule(0.16) == 1
+        assert params.bitmap_granule(100.0) == 5  # capped at the default
+
+    def test_fixed_granule(self):
+        from repro.costmodel.iocost import IOCostParameters
+
+        params = IOCostParameters(adaptive_bitmap_prefetch=False)
+        assert params.bitmap_granule(0.16) == 5

@@ -1,0 +1,117 @@
+"""SimulatedDatabase: plan expansion into subquery work units."""
+
+import math
+
+import pytest
+
+from repro.mdhf.query import Predicate, StarQuery
+from repro.sim.config import SimulationParameters
+from repro.sim.database import SimulatedDatabase, _Spreader
+
+
+@pytest.fixture
+def params():
+    return SimulationParameters().with_hardware(
+        n_disks=100, n_nodes=20, subqueries_per_node=4
+    )
+
+
+@pytest.fixture
+def db(apb1, f_month_group, params):
+    return SimulatedDatabase(apb1, f_month_group, params)
+
+
+class TestSpreader:
+    def test_integer_rate(self):
+        spreader = _Spreader(3.0)
+        assert [spreader.next() for _ in range(5)] == [3, 3, 3, 3, 3]
+
+    def test_fractional_rate_alternates(self):
+        spreader = _Spreader(112.5)
+        values = [spreader.next() for _ in range(10)]
+        assert set(values) == {112, 113}
+        assert sum(values) == 1125
+
+    def test_sum_tracks_rate(self):
+        spreader = _Spreader(0.37)
+        total = sum(spreader.next() for _ in range(1000))
+        assert total == math.floor(0.37 * 1000 + 1e-9)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            _Spreader(-0.1)
+
+
+class TestIOC1Expansion:
+    """1MONTH: full sequential scan of 480 fragments, no bitmaps."""
+
+    def test_work_units(self, db):
+        plan = db.plan(StarQuery([Predicate.parse("time::month", 3)]))
+        work = list(db.iter_subquery_work(plan))
+        assert len(work) == 480
+        first = work[0]
+        assert first.bitmap_reads == []
+        assert first.fact_pages == 795
+        # 795 pages in granules of 8 -> 100 extents.
+        assert len(first.fact_extents) == math.ceil(795 / 8)
+
+    def test_extents_contiguous(self, db):
+        plan = db.plan(StarQuery([Predicate.parse("time::month", 3)]))
+        work = next(iter(db.iter_subquery_work(plan)))
+        previous_end = work.fact_extents[0][0]
+        for start, pages in work.fact_extents:
+            assert start == previous_end
+            previous_end = start + pages
+
+    def test_relevant_rows_total(self, db, apb1):
+        plan = db.plan(StarQuery([Predicate.parse("time::month", 3)]))
+        total = sum(w.relevant_rows for w in db.iter_subquery_work(plan))
+        assert total == apb1.fact_count // 24
+
+
+class TestIOC2Expansion:
+    """1STORE: bitmap-driven access to every fragment."""
+
+    @pytest.fixture
+    def plan(self, db):
+        return db.plan(StarQuery([Predicate.parse("customer::store", 7)]))
+
+    def test_bitmap_reads_per_fragment(self, db, plan):
+        work = next(iter(db.iter_subquery_work(plan)))
+        assert len(work.bitmap_reads) == 12
+        assert work.bitmap_pages == 12 * 5
+
+    def test_bitmap_disks_staggered(self, db, plan):
+        work = next(iter(db.iter_subquery_work(plan)))
+        disks = [disk for disk, _extents in work.bitmap_reads]
+        assert len(set(disks)) == 12
+
+    def test_fact_extents_subset_of_fragment(self, db, plan):
+        work = next(iter(db.iter_subquery_work(plan)))
+        placement = db.allocation.fact_placement(work.fragment_id)
+        for start, pages in work.fact_extents:
+            assert placement.start_page <= start
+            assert start + pages <= placement.end_page
+
+    def test_hit_totals_match_plan(self, db, plan):
+        total_rows = 0
+        for work in db.iter_subquery_work(plan):
+            total_rows += work.relevant_rows
+        assert total_rows == int(plan.expected_hits)
+
+    def test_fact_pages_fewer_than_full_scan(self, db, plan):
+        pages = sum(w.fact_pages for w in db.iter_subquery_work(plan))
+        assert pages < 11_520 * 795
+
+
+class TestAdaptiveBitmapGranule:
+    def test_small_fragments_get_one_page_granule(self, apb1, f_month_code, params):
+        db = SimulatedDatabase(apb1, f_month_code, params)
+        plan = db.plan(StarQuery([Predicate.parse("customer::store", 7)]))
+        work = next(iter(db.iter_subquery_work(plan)))
+        for _disk, extents in work.bitmap_reads:
+            assert extents == [(extents[0][0], 1)]
+
+    def test_elimination_reflected_in_allocation(self, db):
+        assert db.elimination.total_kept == 32
+        assert db.allocation.kept_bitmaps == 32

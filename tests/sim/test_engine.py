@@ -1,0 +1,153 @@
+"""Discrete-event engine: ordering, processes, joins."""
+
+import pytest
+
+from repro.sim.engine import AllOf, Environment
+
+
+class TestScheduling:
+    def test_timeouts_fire_in_order(self):
+        env = Environment()
+        log = []
+        env.timeout(2.0).wait(lambda _v: log.append("b"))
+        env.timeout(1.0).wait(lambda _v: log.append("a"))
+        env.timeout(3.0).wait(lambda _v: log.append("c"))
+        env.run()
+        assert log == ["a", "b", "c"]
+        assert env.now == 3.0
+
+    def test_fifo_tie_break_at_same_time(self):
+        env = Environment()
+        log = []
+        env.timeout(1.0).wait(lambda _v: log.append(1))
+        env.timeout(1.0).wait(lambda _v: log.append(2))
+        env.run()
+        assert log == [1, 2]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_run_until(self):
+        env = Environment()
+        log = []
+        env.timeout(1.0).wait(lambda _v: log.append("early"))
+        env.timeout(5.0).wait(lambda _v: log.append("late"))
+        env.run(until=2.0)
+        assert log == ["early"]
+        assert env.now == 2.0
+        env.run()
+        assert log == ["early", "late"]
+
+
+class TestEvents:
+    def test_event_value_delivered(self):
+        env = Environment()
+        received = []
+        event = env.event()
+        event.wait(received.append)
+        event.succeed("payload")
+        env.run()
+        assert received == ["payload"]
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_wait_on_triggered_event_fires(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(7)
+        late = []
+        event.wait(late.append)
+        env.run()
+        assert late == [7]
+
+
+class TestProcesses:
+    def test_process_sequence(self):
+        env = Environment()
+        log = []
+
+        def body():
+            log.append(("start", env.now))
+            yield env.timeout(1.5)
+            log.append(("mid", env.now))
+            yield env.timeout(0.5)
+            log.append(("end", env.now))
+            return "done"
+
+        process = env.process(body())
+        env.run()
+        assert log == [("start", 0.0), ("mid", 1.5), ("end", 2.0)]
+        assert process.done.value == "done"
+
+    def test_process_receives_event_value(self):
+        env = Environment()
+
+        def body():
+            value = yield env.timeout(1.0, value="ping")
+            return value
+
+        process = env.process(body())
+        env.run()
+        assert process.done.value == "ping"
+
+    def test_yielding_non_event_raises(self):
+        env = Environment()
+
+        def body():
+            yield 42
+
+        env.process(body())
+        with pytest.raises(TypeError, match="expected Event"):
+            env.run()
+
+    def test_run_until_event(self):
+        env = Environment()
+
+        def body():
+            yield env.timeout(2.0)
+            return "finished"
+
+        process = env.process(body())
+        env.timeout(10.0)  # later noise in the schedule
+        value = env.run_until_event(process.done)
+        assert value == "finished"
+        assert env.now == 2.0
+
+    def test_run_until_event_never_fires(self):
+        env = Environment()
+        orphan = env.event()
+        with pytest.raises(RuntimeError, match="drained"):
+            env.run_until_event(orphan)
+
+
+class TestAllOf:
+    def test_waits_for_all(self):
+        env = Environment()
+        events = [env.timeout(t) for t in (1.0, 3.0, 2.0)]
+        fired = []
+        AllOf(env, events).wait(lambda _v: fired.append(env.now))
+        env.run()
+        assert fired == [3.0]
+
+    def test_empty_all_of_triggers_immediately(self):
+        env = Environment()
+        join = AllOf(env, [])
+        assert join.triggered
+
+    def test_process_joins_parallel_work(self):
+        env = Environment()
+
+        def body():
+            yield env.all_of([env.timeout(2.0), env.timeout(5.0)])
+            return env.now
+
+        process = env.process(body())
+        env.run()
+        assert process.done.value == 5.0

@@ -1,0 +1,61 @@
+"""SimulationResult / QueryMetrics aggregation."""
+
+import pytest
+
+from repro.sim.metrics import QueryMetrics, SimulationResult
+
+
+def metrics(name="q", response=1.0, **kwargs):
+    defaults = dict(
+        subqueries=10,
+        fact_io_ops=5,
+        fact_pages=40,
+        bitmap_io_ops=2,
+        bitmap_pages=10,
+        coordinator_node=0,
+    )
+    defaults.update(kwargs)
+    return QueryMetrics(name=name, response_time=response, **defaults)
+
+
+class TestQueryMetrics:
+    def test_total_pages(self):
+        assert metrics().total_pages == 50
+
+
+class TestSimulationResult:
+    def test_avg_and_max_response(self):
+        result = SimulationResult(
+            queries=[metrics(response=1.0), metrics(response=3.0)]
+        )
+        assert result.avg_response_time == pytest.approx(2.0)
+        assert result.max_response_time == 3.0
+        assert result.query_count == 2
+
+    def test_avg_response_requires_queries(self):
+        with pytest.raises(ValueError):
+            SimulationResult().avg_response_time
+
+    def test_utilizations(self):
+        result = SimulationResult(
+            queries=[metrics()],
+            elapsed=10.0,
+            disk_busy=[5.0, 10.0],
+            cpu_busy=[2.0, 4.0],
+        )
+        assert result.avg_disk_utilization == pytest.approx(0.75)
+        assert result.avg_cpu_utilization == pytest.approx(0.3)
+
+    def test_utilization_zero_without_elapsed(self):
+        result = SimulationResult(queries=[metrics()], disk_busy=[5.0])
+        assert result.avg_disk_utilization == 0.0
+        assert result.avg_cpu_utilization == 0.0
+
+    def test_total_pages_sums_queries(self):
+        result = SimulationResult(queries=[metrics(), metrics()])
+        assert result.total_pages == 100
+
+    def test_speedup_against_baseline(self):
+        slow = SimulationResult(queries=[metrics(response=10.0)])
+        fast = SimulationResult(queries=[metrics(response=2.0)])
+        assert fast.speedup_against(slow) == pytest.approx(5.0)

@@ -1,0 +1,87 @@
+"""Query templates and the single-user workload generator."""
+
+import pytest
+
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.queries import APB1_QUERY_TYPES, make_template, query_type
+
+
+class TestTemplates:
+    def test_paper_types_present(self):
+        for name in ("1STORE", "1MONTH", "1CODE", "1MONTH1GROUP", "1CODE1QUARTER"):
+            assert name in APB1_QUERY_TYPES
+
+    def test_make_template_parses_name(self):
+        template = make_template("1MONTH1GROUP")
+        assert [str(a) for a in template.attributes] == [
+            "time::month",
+            "product::group",
+        ]
+        assert template.values_per_attribute == (1, 1)
+
+    def test_multi_value_token(self):
+        template = make_template("3STORE")
+        assert template.values_per_attribute == (3,)
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(ValueError, match="unknown attribute token"):
+            make_template("1WAREHOUSE")
+
+    def test_malformed_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_template("MONTH")
+        with pytest.raises(ValueError):
+            make_template("1month")
+
+    def test_query_type_builds_on_demand(self):
+        template = query_type("2RETAILER1YEAR")
+        assert [str(a) for a in template.attributes] == [
+            "customer::retailer",
+            "time::year",
+        ]
+
+
+class TestGenerator:
+    def test_stream_is_deterministic(self, apb1):
+        a = WorkloadGenerator(apb1, ["1STORE"], seed=9).batch(5)
+        b = WorkloadGenerator(apb1, ["1STORE"], seed=9).batch(5)
+        assert [str(q) for q in a] == [str(q) for q in b]
+
+    def test_values_vary_across_queries(self, apb1):
+        queries = WorkloadGenerator(apb1, ["1STORE"], seed=9).batch(10)
+        values = {q.predicates[0].values for q in queries}
+        assert len(values) > 1
+
+    def test_all_queries_valid(self, apb1):
+        generator = WorkloadGenerator(
+            apb1, ["1STORE", "1MONTH1GROUP", "1CODE1QUARTER"], seed=0
+        )
+        for query in generator.stream(30):
+            query.validate(apb1)
+
+    def test_weighted_mix(self, apb1):
+        generator = WorkloadGenerator(
+            apb1, ["1STORE", "1MONTH"], weights=[0.0, 1.0], seed=0
+        )
+        names = {q.name for q in generator.stream(20)}
+        assert names == {"1MONTH"}
+
+    def test_weight_validation(self, apb1):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(apb1, ["1STORE"], weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            WorkloadGenerator(apb1, ["1STORE"], weights=[-1.0])
+        with pytest.raises(ValueError):
+            WorkloadGenerator(apb1, [])
+
+    def test_string_and_template_inputs(self, apb1):
+        generator = WorkloadGenerator(
+            apb1, [query_type("1MONTH"), "1STORE"], seed=1
+        )
+        names = {q.name for q in generator.stream(20)}
+        assert names == {"1MONTH", "1STORE"}
+
+    def test_negative_count_rejected(self, apb1):
+        generator = WorkloadGenerator(apb1, ["1MONTH"])
+        with pytest.raises(ValueError):
+            list(generator.stream(-1))
