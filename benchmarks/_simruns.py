@@ -1,47 +1,27 @@
-"""Shared simulation-run helpers for the figure benchmarks."""
+"""Scenario-driven simulation helpers for the figure benchmarks.
+
+The benchmark modules no longer own parameter tables: each declares the
+name of a registered scenario (``repro.scenarios.registry``) and calls
+:func:`scenario_results` to execute its run matrix through the same
+:func:`repro.scenarios.runner.execute_run` code path as the ``repro
+bench`` CLI and the examples.  ``REPRO_BENCH_FAST=1`` selects each
+scenario's reduced sweep.
+"""
 
 from __future__ import annotations
 
-import random
-from dataclasses import replace
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import RunResult, execute_run
 
-from repro.mdhf.query import StarQuery
-from repro.mdhf.spec import Fragmentation
-from repro.schema.fact import StarSchema
-from repro.sim.config import SimulationParameters
-from repro.sim.metrics import QueryMetrics
-from repro.sim.simulator import ParallelWarehouseSimulator
-from repro.workload.queries import query_type
-
-#: Event-count control for the big sweeps; <0.5% response-time effect
-#: (validated in tests/sim/test_simulator.py and Section 7 of DESIGN.md).
-IO_COALESCE = 8
+from conftest import fast_mode
 
 
-def make_query(schema: StarSchema, name: str, seed: int = 0) -> StarQuery:
-    """One concrete query of a named type with seeded random values."""
-    return query_type(name).instantiate(schema, random.Random(seed))
+def scenario_results(name: str, fast: bool | None = None) -> dict[str, RunResult]:
+    """Execute a registered scenario's (possibly reduced) run matrix.
 
-
-def run_config(
-    schema: StarSchema,
-    fragmentation: Fragmentation,
-    query: StarQuery,
-    n_disks: int,
-    n_nodes: int,
-    t: int,
-    parallel_bitmap_io: bool = True,
-    max_concurrent: int | None = None,
-) -> QueryMetrics:
-    """Simulate one query on one hardware configuration."""
-    params = replace(
-        SimulationParameters().with_hardware(
-            n_disks=n_disks, n_nodes=n_nodes, subqueries_per_node=t
-        ),
-        parallel_bitmap_io=parallel_bitmap_io,
-        max_concurrent_subqueries=max_concurrent,
-        io_coalesce=IO_COALESCE,
-    )
-    simulator = ParallelWarehouseSimulator(schema, fragmentation, params)
-    result = simulator.run([query])
-    return result.queries[0]
+    Returns results keyed by ``run_id``; each carries the run's config
+    dict, config hash and deterministic metrics.
+    """
+    scenario = get_scenario(name)
+    runs = scenario.expand(fast=fast_mode() if fast is None else fast)
+    return {run.run_id: execute_run(run) for run in runs}

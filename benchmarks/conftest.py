@@ -1,9 +1,15 @@
 """Shared benchmark fixtures and reporting helpers.
 
 Every benchmark module regenerates one table or figure of the paper and
-prints the paper's reported values next to the measured ones.  Set
-``REPRO_BENCH_FAST=1`` to run reduced parameter sweeps (fewer points,
-same shapes) — the full sweeps take ~10 minutes of simulation.
+prints the paper's reported values next to the measured ones.  Each
+module names its registry entry (``repro.scenarios.registry``) via a
+module-level ``SCENARIO`` (or ``SCENARIOS``) attribute; the simulation
+modules (figures, ablations) also execute their run matrices through
+``repro.scenarios.runner``, while the analytic table modules keep their
+own exact-value checks and the attribute records which scenario
+regenerates the same artefact.  Set ``REPRO_BENCH_FAST=1`` to run each
+scenario's reduced sweep (fewer points, same shapes) — the full sweeps
+take ~10 minutes of simulation.
 """
 
 from __future__ import annotations

@@ -13,48 +13,39 @@ evaluate, plus its stated future work:
   populations erode the load balance.
 * **Multi-user mode** (Section 7 future work): concurrent streams trade
   per-query response time for throughput.
+
+Each study's matrix is a registered ``ablation_*`` scenario.
 """
 
-from dataclasses import replace
+from conftest import print_table
+from _simruns import scenario_results
 
-from conftest import fast_mode, print_table
-from _simruns import IO_COALESCE, make_query
-from repro.mdhf.spec import Fragmentation
-from repro.sim.config import SimulationParameters
-from repro.sim.simulator import ParallelWarehouseSimulator
-
-
-def params_100_20(t=5, **extra):
-    return replace(
-        SimulationParameters().with_hardware(
-            n_disks=100, n_nodes=20, subqueries_per_node=t
-        ),
-        io_coalesce=IO_COALESCE,
-        **extra,
-    )
+SCENARIOS = [
+    "ablation_fragment_clustering",
+    "ablation_gap_allocation",
+    "ablation_staggered_allocation",
+    "ablation_data_skew",
+    "ablation_multi_user",
+]
 
 
-def test_ablation_fragment_clustering(benchmark, apb1):
+def test_ablation_fragment_clustering(benchmark):
     """Section 6.3's remedy: cluster factor vs 1STORE on F_MonthCode."""
-    fragmentation = Fragmentation.parse("time::month", "product::code")
-    query = make_query(apb1, "1STORE")
-    factors = [8, 32] if fast_mode() else [1, 8, 32]
 
     def sweep():
-        results = {}
-        for factor in factors:
-            sim = ParallelWarehouseSimulator(
-                apb1, fragmentation, params_100_20(cluster_factor=factor)
+        return {
+            result.config["cluster_factor"]: (
+                result.metrics["response_time_s"],
+                result.metrics["subqueries"],
+                result.metrics["bitmap_pages"],
             )
-            metrics = sim.run([query]).queries[0]
-            results[factor] = (
-                metrics.response_time,
-                metrics.subqueries,
-                metrics.bitmap_pages,
-            )
-        return results
+            for result in scenario_results(
+                "ablation_fragment_clustering"
+            ).values()
+        }
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    factors = sorted(results)
     rows = [
         [factor, f"{resp:.1f}", f"{subq:,}", f"{pages:,}"]
         for factor, (resp, subq, pages) in sorted(results.items())
@@ -74,20 +65,15 @@ def test_ablation_fragment_clustering(benchmark, apb1):
         assert results[hi][2] < results[lo][2] / 2
 
 
-def test_ablation_gap_allocation(benchmark, apb1):
+def test_ablation_gap_allocation(benchmark):
     """Section 4.6's remedy for gcd clustering (1CODE, stride 480)."""
-    fragmentation = Fragmentation.parse("time::month", "product::group")
-    query = make_query(apb1, "1CODE")
 
     def sweep():
-        results = {}
-        for scheme in ("round_robin", "gap"):
-            sim = ParallelWarehouseSimulator(
-                apb1, fragmentation,
-                params_100_20(t=2, allocation_scheme=scheme),
-            )
-            results[scheme] = sim.run([query]).queries[0].response_time
-        return results
+        return {
+            result.config["allocation_scheme"]:
+                result.metrics["response_time_s"]
+            for result in scenario_results("ablation_gap_allocation").values()
+        }
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print_table(
@@ -103,20 +89,17 @@ def test_ablation_gap_allocation(benchmark, apb1):
     assert results["round_robin"] / results["gap"] > 2.0
 
 
-def test_ablation_staggered_allocation(benchmark, apb1):
+def test_ablation_staggered_allocation(benchmark):
     """Without staggering, parallel bitmap I/O has nothing to win."""
-    fragmentation = Fragmentation.parse("time::month", "product::group")
-    query = make_query(apb1, "1STORE")
 
     def sweep():
-        results = {}
-        for staggered in (True, False):
-            sim = ParallelWarehouseSimulator(
-                apb1, fragmentation,
-                params_100_20(t=1, staggered_allocation=staggered),
-            )
-            results[staggered] = sim.run([query]).queries[0].response_time
-        return results
+        return {
+            result.config["staggered_allocation"]:
+                result.metrics["response_time_s"]
+            for result in scenario_results(
+                "ablation_staggered_allocation"
+            ).values()
+        }
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print_table(
@@ -131,22 +114,17 @@ def test_ablation_staggered_allocation(benchmark, apb1):
     assert results[True] < results[False]
 
 
-def test_ablation_data_skew(benchmark, apb1):
+def test_ablation_data_skew(benchmark):
     """Zipf fragment populations vs the CPU-bound 1MONTH query."""
-    fragmentation = Fragmentation.parse("time::month", "product::group")
-    query = make_query(apb1, "1MONTH")
-    thetas = [0.0, 1.0] if fast_mode() else [0.0, 0.5, 1.0]
 
     def sweep():
-        results = {}
-        for theta in thetas:
-            sim = ParallelWarehouseSimulator(
-                apb1, fragmentation, params_100_20(t=4, data_skew=theta)
-            )
-            results[theta] = sim.run([query]).queries[0].response_time
-        return results
+        return {
+            result.config["data_skew"]: result.metrics["response_time_s"]
+            for result in scenario_results("ablation_data_skew").values()
+        }
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    thetas = sorted(results)
     print_table(
         "Ablation: data skew vs load balance (1MONTH, d=100, p=20)",
         ["zipf theta", "response [s]", "vs uniform"],
@@ -159,33 +137,20 @@ def test_ablation_data_skew(benchmark, apb1):
     assert results[max(thetas)] > results[0.0] * 1.3
 
 
-def test_ablation_multi_user(benchmark, apb1):
+def test_ablation_multi_user(benchmark):
     """Concurrent query streams: throughput vs response time."""
-    fragmentation = Fragmentation.parse("time::month", "product::group")
-    stream_counts = [1, 4] if fast_mode() else [1, 2, 4]
-    queries_per_stream = 3
 
     def sweep():
-        results = {}
-        for n_streams in stream_counts:
-            sim = ParallelWarehouseSimulator(
-                apb1, fragmentation, params_100_20(t=4)
+        return {
+            result.config["streams"]: (
+                result.metrics["avg_response_time_s"],
+                result.metrics["throughput_qps"],
             )
-            streams = [
-                [
-                    make_query(apb1, "1MONTH1GROUP", seed=17 * s + q)
-                    for q in range(queries_per_stream)
-                ]
-                for s in range(n_streams)
-            ]
-            outcome = sim.run_multi_user(streams)
-            results[n_streams] = (
-                outcome.avg_response_time,
-                outcome.query_count / outcome.elapsed,
-            )
-        return results
+            for result in scenario_results("ablation_multi_user").values()
+        }
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    stream_counts = sorted(results)
     print_table(
         "Ablation: multi-user mode (1MONTH1GROUP streams, d=100, p=20)",
         ["streams", "avg response [s]", "throughput [queries/s]"],

@@ -9,44 +9,31 @@ disk-bound.  The paper's findings to reproduce:
   (shorter seeks with less data per disk);
 * the d=20/p=1 point suffers because the coordinator only runs t-1
   subqueries.
+
+The hardware matrix is the registered ``fig3_speedup_1store`` scenario.
 """
 
-from conftest import fast_mode, print_table
-from _simruns import make_query, run_config
-from repro.mdhf.spec import Fragmentation
+from conftest import print_table
+from _simruns import scenario_results
 
-#: Table 5: p = d/20 ... d/2 per disk count; t = d/p.
-FULL_CONFIGS = {
-    20: [1, 2, 4, 5, 10],
-    60: [3, 6, 12, 15, 30],
-    100: [5, 10, 20, 25, 50],
-}
-FAST_CONFIGS = {20: [1, 5], 100: [5, 25]}
+SCENARIO = "fig3_speedup_1store"
 
 #: Figure 3 (read off the plot): ~600 s at d=20 falling to ~120 s at
 #: d=100, independent of p.
 PAPER_RESPONSE_GUIDE = {20: 600.0, 60: 200.0, 100: 120.0}
 
 
-def test_fig3_1store_speedup(benchmark, apb1):
-    fragmentation = Fragmentation.parse("time::month", "product::group")
-    query = make_query(apb1, "1STORE")
-    configs = FAST_CONFIGS if fast_mode() else FULL_CONFIGS
-
+def test_fig3_1store_speedup(benchmark):
     def sweep():
         results = {}
-        for n_disks, node_counts in configs.items():
-            for n_nodes in node_counts:
-                t = max(1, n_disks // n_nodes)
-                metrics = run_config(
-                    apb1, fragmentation, query, n_disks, n_nodes, t
-                )
-                results[(n_disks, n_nodes)] = metrics.response_time
+        for result in scenario_results(SCENARIO).values():
+            key = (result.config["n_disks"], result.config["n_nodes"])
+            results[key] = result.metrics["response_time_s"]
         return results
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
-    baseline_d = min(configs)
+    baseline_d = min(d for d, _p in results)
     baseline = min(
         time for (d, _p), time in results.items() if d == baseline_d
     )
@@ -69,9 +56,10 @@ def test_fig3_1store_speedup(benchmark, apb1):
         filename="fig3_1store_speedup.txt",
     )
 
+    disk_counts = {d for d, _p in results}
     # Disk-bound: at fixed d, response barely depends on p (excluding
     # the paper's own d=20/p=1 coordinator quirk).
-    for n_disks in configs:
+    for n_disks in disk_counts:
         times = [
             time
             for (d, p), time in results.items()
@@ -81,7 +69,7 @@ def test_fig3_1store_speedup(benchmark, apb1):
             assert max(times) / min(times) < 1.2, (n_disks, times)
 
     # Speed-up in d is at least linear (superlinear via shorter seeks).
-    if 100 in configs and 20 in configs:
+    if 100 in disk_counts and 20 in disk_counts:
         t20 = min(t for (d, _p), t in results.items() if d == 20)
         t100 = min(t for (d, _p), t in results.items() if d == 100)
         assert t20 / t100 >= 4.5

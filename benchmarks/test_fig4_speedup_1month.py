@@ -9,44 +9,26 @@ bitmap access, CPU-bound.  The paper's findings to reproduce:
   avoid an inefficient trailing batch; our coordinator reassigns tasks
   continuously on completion, so both settings sit near the linear
   curve (the paper's own "fixed" behaviour — see EXPERIMENTS.md).
+
+The hardware matrix is the registered ``fig4_speedup_1month`` scenario.
 """
 
-from conftest import fast_mode, print_table
-from _simruns import make_query, run_config
-from repro.mdhf.spec import Fragmentation
+from conftest import print_table
+from _simruns import scenario_results
 
-FULL_CONFIGS = {
-    20: [1, 2, 4, 5, 10],
-    60: [3, 6, 12, 15, 30],
-    100: [5, 10, 20, 25, 50],
-}
-FAST_CONFIGS = {20: [1, 10], 100: [10, 50]}
+SCENARIO = "fig4_speedup_1month"
 
 #: Figure 4 guide: ~340-400 s at p=1, near-linear decay with p, t=4.
 PAPER_P1_RESPONSE = 380.0
 
 
-def test_fig4_1month_speedup(benchmark, apb1):
-    fragmentation = Fragmentation.parse("time::month", "product::group")
-    query = make_query(apb1, "1MONTH")
-    configs = FAST_CONFIGS if fast_mode() else FULL_CONFIGS
-
+def test_fig4_1month_speedup(benchmark):
     def sweep():
         results = {}
-        for n_disks, node_counts in configs.items():
-            for n_nodes in node_counts:
-                results[(n_disks, n_nodes, 4)] = run_config(
-                    apb1, fragmentation, query, n_disks, n_nodes, t=4
-                ).response_time
-        # Baseline and the paper's t=5 "fix" configuration.
-        results[(20, 1, 4)] = results.get(
-            (20, 1, 4),
-            run_config(apb1, fragmentation, query, 20, 1, t=4).response_time,
-        )
-        if not fast_mode():
-            results[(100, 50, 5)] = run_config(
-                apb1, fragmentation, query, 100, 50, t=5
-            ).response_time
+        for result in scenario_results(SCENARIO).values():
+            config = result.config
+            key = (config["n_disks"], config["n_nodes"], config["t"])
+            results[key] = result.metrics["response_time_s"]
         return results
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
@@ -89,7 +71,7 @@ def test_fig4_1month_speedup(benchmark, apb1):
 
     # The t=4 vs t=5 comparison at d=100/p=50: both near linear here
     # (continuous reassignment = the paper's fixed behaviour).
-    if (100, 50, 5) in results:
+    if (100, 50, 5) in results and (100, 50, 4) in results:
         t4 = results[(100, 50, 4)]
         t5 = results[(100, 50, 5)]
         assert abs(t4 - t5) / t4 < 0.25

@@ -9,34 +9,28 @@ I/O over the 12 staggered bitmap fragments.  The paper's findings:
 * parallel bitmap I/O improves response times by up to 13%, most
   pronounced at few subqueries, converging (but staying ahead) as disk
   contention grows.
+
+The t × parallel-I/O matrix is the registered
+``fig5_parallel_bitmap_io`` scenario.
 """
 
 from conftest import fast_mode, print_table
-from _simruns import make_query, run_config
-from repro.mdhf.spec import Fragmentation
+from _simruns import scenario_results
 
-FULL_T_VALUES = [1, 2, 3, 5, 7, 9, 11, 13]
-FAST_T_VALUES = [1, 3, 5]
+SCENARIO = "fig5_parallel_bitmap_io"
 
 
-def test_fig5_parallel_bitmap_io(benchmark, apb1):
-    fragmentation = Fragmentation.parse("time::month", "product::group")
-    query = make_query(apb1, "1STORE")
-    t_values = FAST_T_VALUES if fast_mode() else FULL_T_VALUES
-
+def test_fig5_parallel_bitmap_io(benchmark):
     def sweep():
         results = {}
-        for t in t_values:
-            for parallel in (True, False):
-                metrics = run_config(
-                    apb1, fragmentation, query,
-                    n_disks=100, n_nodes=20, t=t,
-                    parallel_bitmap_io=parallel,
-                )
-                results[(t, parallel)] = metrics.response_time
+        for result in scenario_results(SCENARIO).values():
+            config = result.config
+            key = (config["t"], config["parallel_bitmap_io"])
+            results[key] = result.metrics["response_time_s"]
         return results
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    t_values = sorted({t for t, _parallel in results})
 
     rows = []
     for t in t_values:

@@ -13,48 +13,44 @@ parallelism (total concurrent subqueries).  The paper's findings:
   page reads;
 * 1STORE needs ~100+ subqueries to approach its best response, which is
   then roughly 80x the 1CODE1QUARTER response.
+
+The strategy × degree matrices are the registered ``fig6_1code1quarter``
+and ``fig6_1store`` scenarios.
 """
 
 from conftest import fast_mode, print_table
-from _simruns import make_query, run_config
-from repro.mdhf.spec import Fragmentation
+from _simruns import scenario_results
 
-FRAGMENTATIONS = {
-    "group": ("time::month", "product::group"),
-    "class": ("time::month", "product::class"),
-    "code": ("time::month", "product::code"),
-}
+SCENARIOS = ["fig6_1code1quarter", "fig6_1store"]
 
-CQ_DEGREES = [1, 2, 3, 4, 5]
-STORE_DEGREES_FULL = {"group": [20, 40, 80, 120, 160],
-                      "class": [20, 40, 80, 120, 160],
-                      "code": [20, 100, 160]}
-STORE_DEGREES_FAST = {"group": [20, 100], "class": [20, 100], "code": [100]}
+STRATEGY_COLUMNS = ["group", "class", "code"]
 
 
-def test_fig6_1code1quarter(benchmark, apb1):
-    query = make_query(apb1, "1CODE1QUARTER")
+def _by_label_and_degree(results) -> dict[tuple[str, int], float]:
+    out = {}
+    for result in results.values():
+        config = result.config
+        degree = (
+            config["max_concurrent"]
+            if config["max_concurrent"] is not None
+            else config["t"] * config["n_nodes"]
+        )
+        out[(config["label"], degree)] = result.metrics["response_time_s"]
+    return out
 
+
+def test_fig6_1code1quarter(benchmark):
     def sweep():
-        results = {}
-        for label, attrs in FRAGMENTATIONS.items():
-            fragmentation = Fragmentation.parse(*attrs)
-            for degree in CQ_DEGREES:
-                metrics = run_config(
-                    apb1, fragmentation, query,
-                    n_disks=100, n_nodes=20, t=1,
-                    max_concurrent=degree,
-                )
-                results[(label, degree)] = metrics.response_time
-        return results
+        return _by_label_and_degree(scenario_results("fig6_1code1quarter"))
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    degrees = sorted({d for _label, d in results})
 
     rows = []
-    for degree in CQ_DEGREES:
+    for degree in degrees:
         rows.append(
             [degree]
-            + [f"{results[(label, degree)]:.2f}" for label in FRAGMENTATIONS]
+            + [f"{results[(label, degree)]:.2f}" for label in STRATEGY_COLUMNS]
         )
     print_table(
         "Figure 6 (right): 1CODE1QUARTER response [s] vs degree of parallelism",
@@ -63,7 +59,7 @@ def test_fig6_1code1quarter(benchmark, apb1):
         filename="fig6_1code1quarter.txt",
     )
 
-    for degree in CQ_DEGREES:
+    for degree in degrees:
         # Finer product fragmentation wins for this query.
         assert (
             results[("code", degree)]
@@ -79,22 +75,9 @@ def test_fig6_1code1quarter(benchmark, apb1):
     assert 1.5 < ratio < 2.6
 
 
-def test_fig6_1store(benchmark, apb1):
-    query = make_query(apb1, "1STORE")
-    degrees = STORE_DEGREES_FAST if fast_mode() else STORE_DEGREES_FULL
-
+def test_fig6_1store(benchmark):
     def sweep():
-        results = {}
-        for label, attrs in FRAGMENTATIONS.items():
-            fragmentation = Fragmentation.parse(*attrs)
-            for degree in degrees[label]:
-                metrics = run_config(
-                    apb1, fragmentation, query,
-                    n_disks=100, n_nodes=20,
-                    t=max(1, degree // 20),
-                )
-                results[(label, degree)] = metrics.response_time
-        return results
+        return _by_label_and_degree(scenario_results("fig6_1store"))
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
@@ -102,7 +85,7 @@ def test_fig6_1store(benchmark, apb1):
     rows = []
     for degree in all_degrees:
         row = [degree]
-        for label in FRAGMENTATIONS:
+        for label in STRATEGY_COLUMNS:
             value = results.get((label, degree))
             row.append(f"{value:.0f}" if value is not None else "-")
         rows.append(row)

@@ -4,6 +4,9 @@ Regenerates every row of Table 1 (total elements, elements within
 parent, bits for encoding) and benchmarks the vectorised encoder.
 """
 
+#: Registry entry this module regenerates (repro.scenarios.registry).
+SCENARIO = "table1_encoding"
+
 import numpy as np
 
 from conftest import print_table

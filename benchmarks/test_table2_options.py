@@ -7,6 +7,9 @@ columns deviate in a few boundary cells because the paper's rounding
 rule (tech report [33]) is not recoverable — see EXPERIMENTS.md.
 """
 
+#: Registry entry this module regenerates (repro.scenarios.registry).
+SCENARIO = "table2_options"
+
 from conftest import print_table
 from repro.mdhf.thresholds import option_counts_by_dimensionality
 

@@ -7,6 +7,9 @@ formula (the paper's tech-report formula is unavailable) — same orders
 of magnitude, identical ordering.
 """
 
+#: Registry entry this module regenerates (repro.scenarios.registry).
+SCENARIO = "table3_iocost"
+
 from conftest import print_table
 from repro.costmodel.iocost import estimate_io
 from repro.costmodel.report import compare_fragmentations

@@ -4,6 +4,9 @@ Asserts that the simulator's defaults are exactly the paper's Table 4
 and prints the full parameter sheet.
 """
 
+#: Registry entry this module regenerates (repro.scenarios.registry).
+SCENARIO = "table4_defaults"
+
 from conftest import print_table
 from repro.sim.config import SimulationParameters
 

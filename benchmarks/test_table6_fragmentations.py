@@ -4,6 +4,9 @@ Fragment counts, bitmap fragment sizes and the adaptive prefetch
 granule for F_MonthGroup / F_MonthClass / F_MonthCode.
 """
 
+#: Registry entry this module regenerates (repro.scenarios.registry).
+SCENARIO = "table6_fragmentations"
+
 import math
 
 from conftest import print_table

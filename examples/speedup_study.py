@@ -1,62 +1,52 @@
 #!/usr/bin/env python3
 """A miniature of the paper's speed-up experiments (Section 6.1).
 
-Runs the disk-bound 1STORE and the CPU-bound 1MONTH query on a few
-hardware configurations and prints the response times and speed-ups,
-showing the paper's central scalability result: 1STORE scales with the
-number of disks, 1MONTH with the number of processors.
+Runs the registered ``fig3_speedup_1store`` (disk-bound) and
+``fig4_speedup_1month`` (CPU-bound) scenarios through the same
+:mod:`repro.scenarios` runner as ``repro bench`` and the benchmark
+suite, and prints response times and speed-ups — the paper's central
+scalability result: 1STORE scales with the number of disks, 1MONTH with
+the number of processors.
 
-Run:  python examples/speedup_study.py          (about a minute)
-      python examples/speedup_study.py --quick  (two configurations)
+Run:  python examples/speedup_study.py          (full sweeps, ~10 min)
+      python examples/speedup_study.py --quick  (reduced sweeps)
+
+Add ``--save`` to also persist BENCH_<scenario>.json reports.
 """
 
-import random
 import sys
-from dataclasses import replace
 
-from repro import Fragmentation, apb1_schema
-from repro.sim.config import SimulationParameters
-from repro.sim.simulator import ParallelWarehouseSimulator
-from repro.workload.queries import query_type
+from repro.scenarios import ScenarioRunner, get_scenario, write_report
 
 
-def run(schema, fragmentation, query, d, p, t):
-    params = replace(
-        SimulationParameters().with_hardware(
-            n_disks=d, n_nodes=p, subqueries_per_node=t
-        ),
-        io_coalesce=8,
-    )
-    sim = ParallelWarehouseSimulator(schema, fragmentation, params)
-    return sim.run([query]).queries[0].response_time
+def print_scenario(name: str, fast: bool, save: bool) -> None:
+    scenario = get_scenario(name)
+    report = ScenarioRunner(scenario, fast=fast).run()
+    print(f"\n{scenario.title} [{name}]")
+    print(f"{'run':>14} {'d':>4} {'p':>4} {'t':>3} "
+          f"{'response [s]':>13} {'speed-up':>9}")
+    speedups = report.derived.get("speedup_vs_slowest", {})
+    for result in report.runs:
+        config = result.config
+        print(
+            f"{result.run_id:>14} {config['n_disks']:>4} "
+            f"{config['n_nodes']:>4} {config['t']:>3} "
+            f"{result.metrics['response_time_s']:>13.1f} "
+            f"{speedups.get(result.run_id, 1.0):>9.2f}"
+        )
+    if save:
+        out = f"BENCH_{name}.json"
+        write_report(report, out)
+        print(f"wrote {out}")
 
 
 def main() -> None:
     quick = "--quick" in sys.argv
-    schema = apb1_schema()
-    fragmentation = Fragmentation.parse("time::month", "product::group")
-    rng = random.Random(0)
-    one_store = query_type("1STORE").instantiate(schema, rng)
-    one_month = query_type("1MONTH").instantiate(schema, rng)
-
-    disk_configs = [(20, 4), (100, 20)] if quick else [(20, 4), (60, 12), (100, 20)]
-    print("1STORE (disk-bound, IOC2-nosupp): scales with disks")
-    print(f"{'d':>4} {'p':>4} {'t':>3} {'response [s]':>13} {'speed-up':>9}")
-    baseline = None
-    for d, p in disk_configs:
-        t = d // p
-        response = run(schema, fragmentation, one_store, d, p, t)
-        baseline = baseline or response
-        print(f"{d:>4} {p:>4} {t:>3} {response:>13.1f} {baseline / response:>9.2f}")
-
-    node_configs = [(20, 1), (20, 10)] if quick else [(20, 1), (20, 5), (20, 10), (100, 20)]
-    print("\n1MONTH (CPU-bound, IOC1): scales with processors")
-    print(f"{'d':>4} {'p':>4} {'t':>3} {'response [s]':>13} {'speed-up':>9}")
-    baseline = None
-    for d, p in node_configs:
-        response = run(schema, fragmentation, one_month, d, p, 4)
-        baseline = baseline or response
-        print(f"{d:>4} {p:>4} {4:>3} {response:>13.1f} {baseline / response:>9.2f}")
+    save = "--save" in sys.argv
+    print("1STORE (disk-bound, IOC2-nosupp): scales with disks;")
+    print("1MONTH (CPU-bound, IOC1): scales with processors.")
+    print_scenario("fig3_speedup_1store", fast=quick, save=save)
+    print_scenario("fig4_speedup_1month", fast=quick, save=save)
 
 
 if __name__ == "__main__":

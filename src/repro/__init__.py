@@ -68,6 +68,14 @@ from repro.sim import (
 from repro.exec import AggregateResult, WarehouseEngine, full_scan_aggregate
 from repro.workload import APB1_QUERY_TYPES, WorkloadGenerator, query_type
 from repro.advisor import AdvisorConfig, recommend_fragmentation
+from repro.scenarios import (
+    BenchReport,
+    RunSpec,
+    ScenarioRunner,
+    ScenarioSpec,
+    get_scenario,
+    scenario_names,
+)
 
 __version__ = "1.0.0"
 
@@ -128,4 +136,11 @@ __all__ = [
     # advisor
     "AdvisorConfig",
     "recommend_fragmentation",
+    # scenarios
+    "BenchReport",
+    "RunSpec",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "get_scenario",
+    "scenario_names",
 ]

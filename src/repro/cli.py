@@ -10,7 +10,9 @@ Exposes the library's three main workflows without writing code:
 * ``advise``    — recommend a fragmentation for a query mix
   (Section 4.7),
 * ``simulate``  — run a query type on the simulated Shared Disk PDBS
-  (Sections 5-6).
+  (Sections 5-6),
+* ``bench``     — execute a registered scenario matrix and persist a
+  machine-readable ``BENCH_<scenario>.json`` report.
 
 Examples::
 
@@ -19,11 +21,14 @@ Examples::
     python -m repro cost 1STORE -f customer::store -f time::month,product::group
     python -m repro advise 1MONTH1GROUP 1CODE --min-fragments 100
     python -m repro simulate 1STORE -f time::month,product::group -d 100 -p 20 -t 5
+    python -m repro bench --list
+    python -m repro bench --scenario fig3_speedup_1store --fast --out BENCH_fig3.json
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 
@@ -169,6 +174,57 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        ScenarioRunner,
+        get_scenario,
+        iter_scenarios,
+        write_report,
+    )
+
+    if args.list:
+        for scenario in iter_scenarios():
+            figure = scenario.figure or "beyond-paper"
+            print(
+                f"{scenario.name:<32} {figure:<13} "
+                f"{len(scenario.runs):>3} runs  {scenario.title}"
+            )
+        return 0
+    if not args.scenario:
+        print("error: pass --scenario NAME or --list", file=sys.stderr)
+        return 2
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    out = args.out or f"BENCH_{scenario.name}.json"
+    out_dir = os.path.dirname(out) or "."
+    if not os.path.isdir(out_dir):
+        print(f"error: output directory {out_dir!r} does not exist",
+              file=sys.stderr)
+        return 2
+    runner = ScenarioRunner(
+        scenario, workers=args.workers, fast=args.fast, seed=args.seed
+    )
+    report = runner.run()
+    write_report(report, out)
+    print(f"scenario: {scenario.name} ({scenario.title})")
+    for result in report.runs:
+        response = result.metrics.get(
+            "response_time_s", result.metrics.get("avg_response_time_s")
+        )
+        shown = f"{response:.3f} s" if response is not None else "-"
+        print(
+            f"  {result.run_id:<24} {shown:>12}  "
+            f"[{result.wall_clock_s:.2f}s wall]"
+        )
+    print(f"fingerprint: {report.metrics_fingerprint()}")
+    print(f"wrote {out} ({len(report.runs)} runs, "
+          f"{report.wall_clock_s:.1f}s wall)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -224,6 +280,31 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--io-coalesce", type=int, default=8)
     simulate.add_argument("--seed", type=int, default=0)
     simulate.set_defaults(handler=_cmd_simulate)
+
+    bench = sub.add_parser(
+        "bench", help="run a scenario matrix, write BENCH_<scenario>.json"
+    )
+    bench.add_argument("--scenario", help="registered scenario name")
+    bench.add_argument(
+        "--list", action="store_true", help="list registered scenarios"
+    )
+    bench.add_argument(
+        "--fast", action="store_true",
+        help="run the scenario's reduced sweep (same shape, fewer points)",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for the run matrix (default 1 = in-process)",
+    )
+    bench.add_argument(
+        "--out", default=None,
+        help="output path (default BENCH_<scenario>.json in the cwd)",
+    )
+    bench.add_argument(
+        "--seed", type=int, default=None,
+        help="override every run's seed (default: the registered seeds)",
+    )
+    bench.set_defaults(handler=_cmd_bench)
 
     return parser
 

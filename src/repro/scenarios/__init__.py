@@ -1,0 +1,46 @@
+"""Scenario-matrix batch running.
+
+Public surface:
+
+* :func:`get_scenario` / :func:`scenario_names` / :func:`iter_scenarios`
+  — the declarative registry of every experiment (paper figures and
+  tables, ablations, beyond-paper configurations),
+* :class:`ScenarioRunner` — expands a scenario matrix and executes it,
+  optionally across a process pool,
+* :func:`execute_run` / :func:`write_report` / :func:`validate_report`
+  — single-point execution and the ``BENCH_<scenario>.json`` format.
+"""
+
+from repro.scenarios.registry import (
+    get_scenario,
+    iter_scenarios,
+    register,
+    scenario_names,
+)
+from repro.scenarios.runner import (
+    BENCH_SCHEMA_VERSION,
+    BenchReport,
+    RunResult,
+    ScenarioRunner,
+    execute_run,
+    validate_report,
+    write_report,
+)
+from repro.scenarios.spec import RunSpec, ScenarioSpec, grid
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchReport",
+    "RunResult",
+    "RunSpec",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "execute_run",
+    "get_scenario",
+    "grid",
+    "iter_scenarios",
+    "register",
+    "scenario_names",
+    "validate_report",
+    "write_report",
+]

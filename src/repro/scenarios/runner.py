@@ -1,0 +1,461 @@
+"""Scenario execution and machine-readable BENCH reports.
+
+:class:`ScenarioRunner` expands a registered scenario into its run
+matrix, executes the points — serially or across a ``multiprocessing``
+pool — and assembles a :class:`BenchReport` that serialises to
+``BENCH_<scenario>.json``.  The report separates *metrics* (fully
+deterministic under a fixed seed: response times, I/O counts,
+utilisations) from *wall-clock* measurements, and carries a per-run
+``config_hash`` plus a whole-report ``metrics_fingerprint`` so the
+performance trajectory stays comparable and diffable across PRs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.scenarios.spec import (
+    KIND_STATIC,
+    MODE_ANALYTIC,
+    MODE_MULTI_USER,
+    MODE_SIM,
+    RunSpec,
+    ScenarioSpec,
+)
+
+#: Version of the BENCH_*.json layout; bump on breaking changes.
+BENCH_SCHEMA_VERSION = 1
+
+#: Lazily built schemas, shared by all runs of one process (each pool
+#: worker builds at most one schema per (name, channels, density)).
+_SCHEMA_CACHE: dict[tuple, object] = {}
+
+
+def _schema_for(run: RunSpec):
+    key = (run.schema, run.channels, run.density)
+    if key not in _SCHEMA_CACHE:
+        from repro.schema.apb1 import apb1_schema, tiny_schema
+
+        if run.schema == "tiny":
+            _SCHEMA_CACHE[key] = tiny_schema(density=run.density)
+        else:
+            _SCHEMA_CACHE[key] = apb1_schema(
+                channels=run.channels, density=run.density
+            )
+    return _SCHEMA_CACHE[key]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one executed run point."""
+
+    run_id: str
+    config: dict
+    config_hash: str
+    #: Deterministic under a fixed seed (no timestamps, no wall-clock).
+    metrics: dict
+    #: Host wall-clock seconds; excluded from determinism checks.
+    wall_clock_s: float
+
+
+def _round6(value: float) -> float:
+    """Stabilise derived ratios against float-formatting noise."""
+    return round(value, 6)
+
+
+def _sim_metrics(run: RunSpec) -> dict:
+    from repro.sim.simulator import ParallelWarehouseSimulator
+    from repro.workload.queries import query_type
+
+    schema = _schema_for(run)
+    simulator = ParallelWarehouseSimulator(
+        schema, run.parsed_fragmentation(), run.sim_params()
+    )
+    query = query_type(run.query).instantiate(schema, random.Random(run.seed))
+    result = simulator.run([query])
+    q = result.queries[0]
+    return {
+        "response_time_s": q.response_time,
+        "subqueries": q.subqueries,
+        "fact_io_ops": q.fact_io_ops,
+        "fact_pages": q.fact_pages,
+        "bitmap_io_ops": q.bitmap_io_ops,
+        "bitmap_pages": q.bitmap_pages,
+        "total_pages": q.total_pages,
+        "coordinator_node": q.coordinator_node,
+        "avg_disk_utilization": _round6(result.avg_disk_utilization),
+        "avg_cpu_utilization": _round6(result.avg_cpu_utilization),
+        "buffer_hits": result.buffer_hits,
+        "buffer_misses": result.buffer_misses,
+        "event_count": result.event_count,
+    }
+
+
+def _multi_user_metrics(run: RunSpec) -> dict:
+    from repro.sim.simulator import ParallelWarehouseSimulator
+    from repro.workload.queries import query_type
+
+    schema = _schema_for(run)
+    simulator = ParallelWarehouseSimulator(
+        schema, run.parsed_fragmentation(), run.sim_params()
+    )
+    template = query_type(run.query)
+    streams = [
+        [
+            template.instantiate(
+                schema,
+                random.Random(
+                    run.seed + run.stream_seed_stride * s + q
+                ),
+            )
+            for q in range(run.queries_per_stream)
+        ]
+        for s in range(run.streams)
+    ]
+    result = simulator.run_multi_user(streams)
+    return {
+        "streams": run.streams,
+        "query_count": result.query_count,
+        "avg_response_time_s": result.avg_response_time,
+        "max_response_time_s": result.max_response_time,
+        "elapsed_s": result.elapsed,
+        "throughput_qps": _round6(result.query_count / result.elapsed),
+        "total_pages": result.total_pages,
+        "avg_disk_utilization": _round6(result.avg_disk_utilization),
+        "avg_cpu_utilization": _round6(result.avg_cpu_utilization),
+        "event_count": result.event_count,
+    }
+
+
+def _analytic_metrics(run: RunSpec) -> dict:
+    from repro.costmodel.iocost import IOCostParameters, estimate_io
+    from repro.mdhf.routing import plan_query
+    from repro.workload.queries import query_type
+
+    schema = _schema_for(run)
+    query = query_type(run.query).instantiate(schema, random.Random(run.seed))
+    plan = plan_query(query, run.parsed_fragmentation(), schema)
+    estimate = estimate_io(plan, schema, IOCostParameters())
+    return {
+        "fragment_count": estimate.fragment_count,
+        "fact_io_ops": round(estimate.fact_io_ops),
+        "fact_pages": round(estimate.fact_pages),
+        "bitmap_pages": round(estimate.bitmap_pages),
+        "total_mib": _round6(estimate.total_mib),
+    }
+
+
+_MODE_EXECUTORS = {
+    MODE_SIM: _sim_metrics,
+    MODE_MULTI_USER: _multi_user_metrics,
+    MODE_ANALYTIC: _analytic_metrics,
+}
+
+
+def execute_run(run: RunSpec) -> RunResult:
+    """Execute one run point (top-level so pools can pickle it)."""
+    started = time.perf_counter()
+    metrics = _MODE_EXECUTORS[run.mode](run)
+    return RunResult(
+        run_id=run.run_id,
+        config=run.config_dict(),
+        config_hash=run.config_hash(),
+        metrics=metrics,
+        wall_clock_s=time.perf_counter() - started,
+    )
+
+
+# ---------------------------------------------------------------------
+# Static scenarios (tables that are parameter sheets, not run matrices)
+# ---------------------------------------------------------------------
+
+def _static_table1() -> dict:
+    from repro.bitmap.encoded import HierarchicalEncoding
+    from repro.schema.apb1 import apb1_schema
+
+    schema = apb1_schema()
+    encoding = HierarchicalEncoding(schema.dimension("product").hierarchy)
+    return {
+        "levels": {
+            level.name: {
+                "cardinality": level.cardinality,
+                "fanout": level.fanout,
+                "bits": width,
+            }
+            for level, width in zip(encoding.hierarchy, encoding.widths)
+        },
+        "total_bits": encoding.total_width,
+    }
+
+
+def _static_table2() -> dict:
+    from repro.mdhf.thresholds import option_counts_by_dimensionality
+    from repro.schema.apb1 import apb1_schema
+
+    schema = apb1_schema()
+    return {
+        f"min_pages_{min_pages}": {
+            str(dims): count
+            for dims, count in sorted(
+                option_counts_by_dimensionality(
+                    schema, min_bitmap_pages=min_pages
+                ).items()
+            )
+        }
+        for min_pages in (0, 1, 4, 8)
+    }
+
+
+def _static_table4() -> dict:
+    from dataclasses import asdict
+
+    from repro.sim.config import SimulationParameters
+
+    params = SimulationParameters()
+    return {
+        "hardware": asdict(params.hardware),
+        "disk": asdict(params.disk),
+        "cpu_costs": asdict(params.cpu_costs),
+        "network": asdict(params.network),
+        "buffer": asdict(params.buffer),
+    }
+
+
+def _static_table6() -> dict:
+    from repro.bitmap.sizing import bitmap_fragment_pages
+    from repro.costmodel.iocost import IOCostParameters
+    from repro.mdhf.spec import Fragmentation
+    from repro.schema.apb1 import apb1_schema
+
+    schema = apb1_schema()
+    params = IOCostParameters()
+    out = {}
+    for label, attrs in {
+        "F_MonthGroup": ("time::month", "product::group"),
+        "F_MonthClass": ("time::month", "product::class"),
+        "F_MonthCode": ("time::month", "product::code"),
+    }.items():
+        n = Fragmentation.parse(*attrs).fragment_count(schema)
+        pages = bitmap_fragment_pages(schema.fact_count, n, 4096)
+        out[label] = {
+            "fragment_count": n,
+            "bitmap_fragment_pages": _round6(pages),
+            "granule": params.bitmap_granule(pages),
+        }
+    return out
+
+
+STATIC_EVALUATORS = {
+    "table1_encoding": _static_table1,
+    "table2_options": _static_table2,
+    "table4_defaults": _static_table4,
+    "table6_fragmentations": _static_table6,
+}
+
+
+# ---------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------
+
+@dataclass
+class BenchReport:
+    """Everything one scenario execution produced."""
+
+    scenario: str
+    kind: str
+    figure: str | None
+    fast: bool
+    runs: list[RunResult] = field(default_factory=list)
+    derived: dict = field(default_factory=dict)
+    wall_clock_s: float = 0.0
+
+    def metrics_projection(self) -> dict:
+        """The deterministic part: per-run metrics plus config hashes."""
+        return {
+            result.run_id: {
+                "config_hash": result.config_hash,
+                "metrics": result.metrics,
+            }
+            for result in self.runs
+        }
+
+    def metrics_fingerprint(self) -> str:
+        canonical = json.dumps(self.metrics_projection(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def to_json_dict(self) -> dict:
+        return {
+            "bench_schema_version": BENCH_SCHEMA_VERSION,
+            "scenario": self.scenario,
+            "kind": self.kind,
+            "figure": self.figure,
+            "fast": self.fast,
+            "metrics_fingerprint": self.metrics_fingerprint(),
+            "runs": [
+                {
+                    "run_id": result.run_id,
+                    "config": result.config,
+                    "config_hash": result.config_hash,
+                    "metrics": result.metrics,
+                    "wall_clock_s": round(result.wall_clock_s, 3),
+                }
+                for result in self.runs
+            ],
+            "derived": self.derived,
+            "wall_clock_s": round(self.wall_clock_s, 3),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def _derived_metrics(runs: list[RunResult]) -> dict:
+    """Cross-run comparisons for simulation scenarios."""
+    timed = {
+        r.run_id: r.metrics["response_time_s"]
+        for r in runs
+        if "response_time_s" in r.metrics
+    }
+    if not timed:
+        return {}
+    slowest = max(timed.values())
+    fastest = min(timed.values())
+    return {
+        "slowest_run": max(timed, key=timed.get),
+        "fastest_run": min(timed, key=timed.get),
+        "speedup_vs_slowest": {
+            run_id: _round6(slowest / value) for run_id, value in timed.items()
+        },
+        "response_spread": _round6(slowest / fastest) if fastest else None,
+    }
+
+
+class ScenarioRunner:
+    """Expand a scenario's matrix and execute it, optionally in parallel."""
+
+    def __init__(
+        self,
+        scenario: ScenarioSpec | str,
+        workers: int | None = None,
+        fast: bool = False,
+        seed: int | None = None,
+    ):
+        if isinstance(scenario, str):
+            from repro.scenarios.registry import get_scenario
+
+            scenario = get_scenario(scenario)
+        self.scenario = scenario
+        self.workers = workers if workers is not None else 1
+        self.fast = fast
+        self.seed = seed
+
+    def _runs(self) -> list[RunSpec]:
+        from dataclasses import replace
+
+        runs = list(self.scenario.expand(fast=self.fast))
+        if self.seed is not None:
+            runs = [replace(run, seed=self.seed) for run in runs]
+        return runs
+
+    def run(self) -> BenchReport:
+        started = time.perf_counter()
+        report = BenchReport(
+            scenario=self.scenario.name,
+            kind=self.scenario.kind,
+            figure=self.scenario.figure,
+            fast=self.fast,
+        )
+        if self.scenario.kind == KIND_STATIC:
+            evaluator = STATIC_EVALUATORS[self.scenario.name]
+            run_started = time.perf_counter()
+            metrics = evaluator()
+            report.runs.append(
+                RunResult(
+                    run_id="static",
+                    config={},
+                    config_hash="static",
+                    metrics=metrics,
+                    wall_clock_s=time.perf_counter() - run_started,
+                )
+            )
+        else:
+            runs = self._runs()
+            if self.workers > 1 and len(runs) > 1:
+                with multiprocessing.Pool(self.workers) as pool:
+                    results = pool.map(execute_run, runs)
+            else:
+                results = [execute_run(run) for run in runs]
+            report.runs.extend(results)
+            report.derived = _derived_metrics(report.runs)
+        report.wall_clock_s = time.perf_counter() - started
+        return report
+
+
+def write_report(report: BenchReport, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(report.to_json())
+
+
+def validate_report(data: dict) -> None:
+    """Raise ValueError unless ``data`` is a well-formed BENCH report."""
+
+    def require(condition: bool, message: str) -> None:
+        if not condition:
+            raise ValueError(f"invalid BENCH report: {message}")
+
+    require(isinstance(data, dict), "not a JSON object")
+    for key in (
+        "bench_schema_version",
+        "scenario",
+        "kind",
+        "fast",
+        "metrics_fingerprint",
+        "runs",
+        "derived",
+        "wall_clock_s",
+    ):
+        require(key in data, f"missing key {key!r}")
+    require(
+        data["bench_schema_version"] == BENCH_SCHEMA_VERSION,
+        f"schema version {data['bench_schema_version']!r} != "
+        f"{BENCH_SCHEMA_VERSION}",
+    )
+    require(isinstance(data["scenario"], str) and data["scenario"],
+            "scenario must be a non-empty string")
+    require(isinstance(data["runs"], list) and data["runs"],
+            "runs must be a non-empty list")
+    seen_ids = set()
+    for entry in data["runs"]:
+        require(isinstance(entry, dict), "run entry is not an object")
+        for key in ("run_id", "config", "config_hash", "metrics",
+                    "wall_clock_s"):
+            require(key in entry, f"run entry missing {key!r}")
+        require(entry["run_id"] not in seen_ids,
+                f"duplicate run_id {entry['run_id']!r}")
+        seen_ids.add(entry["run_id"])
+        require(isinstance(entry["metrics"], dict) and entry["metrics"],
+                f"run {entry['run_id']!r} has empty metrics")
+        require(
+            isinstance(entry["wall_clock_s"], (int, float))
+            and entry["wall_clock_s"] >= 0,
+            f"run {entry['run_id']!r} has invalid wall_clock_s",
+        )
+    # The fingerprint must match the recomputed projection.
+    projection = {
+        entry["run_id"]: {
+            "config_hash": entry["config_hash"],
+            "metrics": entry["metrics"],
+        }
+        for entry in data["runs"]
+    }
+    canonical = json.dumps(projection, sort_keys=True)
+    fingerprint = hashlib.sha256(canonical.encode()).hexdigest()
+    require(
+        data["metrics_fingerprint"] == fingerprint,
+        "metrics_fingerprint does not match the runs' metrics",
+    )

@@ -1,0 +1,158 @@
+"""BENCH_<scenario>.json: schema validation, golden layout, CLI path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.scenarios import (
+    BENCH_SCHEMA_VERSION,
+    ScenarioRunner,
+    validate_report,
+    write_report,
+)
+
+#: Golden layout of the report and of one simulation run's metrics.
+TOP_LEVEL_KEYS = {
+    "bench_schema_version",
+    "scenario",
+    "kind",
+    "figure",
+    "fast",
+    "metrics_fingerprint",
+    "runs",
+    "derived",
+    "wall_clock_s",
+}
+RUN_KEYS = {"run_id", "config", "config_hash", "metrics", "wall_clock_s"}
+SIM_METRIC_KEYS = {
+    "response_time_s",
+    "subqueries",
+    "fact_io_ops",
+    "fact_pages",
+    "bitmap_io_ops",
+    "bitmap_pages",
+    "total_pages",
+    "coordinator_node",
+    "avg_disk_utilization",
+    "avg_cpu_utilization",
+    "buffer_hits",
+    "buffer_misses",
+    "event_count",
+}
+
+
+@pytest.fixture(scope="module")
+def report():
+    return ScenarioRunner("smoke_tiny").run()
+
+
+@pytest.fixture(scope="module")
+def report_dict(report):
+    return json.loads(report.to_json())
+
+
+class TestGoldenLayout:
+    def test_top_level_keys(self, report_dict):
+        assert set(report_dict) == TOP_LEVEL_KEYS
+        assert report_dict["bench_schema_version"] == BENCH_SCHEMA_VERSION
+        assert report_dict["scenario"] == "smoke_tiny"
+
+    def test_run_entry_keys(self, report_dict):
+        for entry in report_dict["runs"]:
+            assert set(entry) == RUN_KEYS
+
+    def test_sim_metrics_keys_are_exactly_the_golden_set(self, report_dict):
+        by_id = {entry["run_id"]: entry for entry in report_dict["runs"]}
+        assert set(by_id["tiny_1store"]["metrics"]) == SIM_METRIC_KEYS
+
+    def test_config_round_trips_the_run_spec(self, report_dict):
+        by_id = {entry["run_id"]: entry for entry in report_dict["runs"]}
+        config = by_id["tiny_1store"]["config"]
+        assert config["schema"] == "tiny"
+        assert config["query"] == "1STORE"
+        assert config["fragmentation"] == ["time::month", "product::group"]
+
+    def test_json_serialisation_is_deterministic(self, report):
+        assert report.to_json() == report.to_json()
+
+
+class TestValidation:
+    def test_valid_report_passes(self, report_dict):
+        validate_report(report_dict)
+
+    def test_missing_key_is_rejected(self, report_dict):
+        broken = dict(report_dict)
+        del broken["metrics_fingerprint"]
+        with pytest.raises(ValueError, match="missing key"):
+            validate_report(broken)
+
+    def test_tampered_metrics_break_the_fingerprint(self, report_dict):
+        broken = json.loads(json.dumps(report_dict))
+        broken["runs"][0]["metrics"]["response_time_s"] = 0.0
+        with pytest.raises(ValueError, match="fingerprint"):
+            validate_report(broken)
+
+    def test_duplicate_run_ids_are_rejected(self, report_dict):
+        broken = json.loads(json.dumps(report_dict))
+        broken["runs"].append(broken["runs"][0])
+        with pytest.raises(ValueError, match="duplicate run_id"):
+            validate_report(broken)
+
+    def test_wrong_schema_version_is_rejected(self, report_dict):
+        broken = dict(report_dict)
+        broken["bench_schema_version"] = 999
+        with pytest.raises(ValueError, match="schema version"):
+            validate_report(broken)
+
+    def test_empty_runs_are_rejected(self, report_dict):
+        broken = dict(report_dict)
+        broken["runs"] = []
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_report(broken)
+
+
+class TestCliBench:
+    def test_bench_list_exits_cleanly(self, capsys):
+        assert cli_main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3_speedup_1store" in out
+        assert "smoke_tiny" in out
+
+    def test_bench_writes_a_schema_valid_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_smoke.json"
+        assert cli_main(
+            ["bench", "--scenario", "smoke_tiny", "--out", str(out)]
+        ) == 0
+        data = json.loads(out.read_text())
+        validate_report(data)
+        assert "fingerprint:" in capsys.readouterr().out
+
+    def test_bench_metrics_identical_across_two_runs(self, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert cli_main(
+                ["bench", "--scenario", "smoke_tiny", "--fast",
+                 "--out", str(path)]
+            ) == 0
+        first, second = (json.loads(p.read_text()) for p in paths)
+        projection = lambda data: json.dumps(
+            {r["run_id"]: r["metrics"] for r in data["runs"]}, sort_keys=True
+        )
+        assert projection(first) == projection(second)
+        assert first["metrics_fingerprint"] == second["metrics_fingerprint"]
+
+    def test_bench_unknown_scenario_fails(self, capsys):
+        assert cli_main(["bench", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bench_without_scenario_or_list_fails(self, capsys):
+        assert cli_main(["bench"]) == 2
+        assert "--scenario" in capsys.readouterr().err
+
+    def test_write_report_helper_round_trips(self, tmp_path, report):
+        path = tmp_path / "BENCH_roundtrip.json"
+        write_report(report, str(path))
+        validate_report(json.loads(path.read_text()))

@@ -1,0 +1,100 @@
+"""Every fig/table benchmark module is wired to a registered scenario.
+
+Imports each ``benchmarks/test_*.py`` module (no benchmark execution —
+import only) and asserts its declared ``SCENARIO``/``SCENARIOS`` names
+resolve in the scenario registry, so the benchmark suite can never
+drift away from the declarative matrix it claims to regenerate.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import get_scenario, iter_scenarios
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+BENCHMARK_FILES = sorted(BENCHMARKS_DIR.glob("test_*.py"))
+
+#: Modules whose helper imports ("conftest", "_simruns") must not
+#: collide with anything pytest already imported.
+_SHADOWED_MODULES = ("conftest", "_simruns")
+
+
+@pytest.fixture()
+def benchmarks_importable(monkeypatch):
+    """Make ``benchmarks/`` modules importable in isolation."""
+    monkeypatch.syspath_prepend(str(BENCHMARKS_DIR))
+    saved = {
+        name: sys.modules.pop(name)
+        for name in _SHADOWED_MODULES
+        if name in sys.modules
+    }
+    yield
+    for name in _SHADOWED_MODULES:
+        sys.modules.pop(name, None)
+    sys.modules.update(saved)
+
+
+def _import_benchmark(path: Path):
+    spec = importlib.util.spec_from_file_location(
+        f"_bench_wiring_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _declared_scenarios(module) -> list[str]:
+    names = []
+    if hasattr(module, "SCENARIO"):
+        names.append(module.SCENARIO)
+    names.extend(getattr(module, "SCENARIOS", []))
+    return names
+
+
+def test_benchmark_files_exist():
+    assert len(BENCHMARK_FILES) >= 10
+
+
+@pytest.mark.parametrize(
+    "path", BENCHMARK_FILES, ids=lambda path: path.stem
+)
+def test_benchmark_module_resolves_to_registered_scenarios(
+    path, benchmarks_importable
+):
+    module = _import_benchmark(path)
+    declared = _declared_scenarios(module)
+    assert declared, f"{path.name} declares no SCENARIO/SCENARIOS"
+    for name in declared:
+        scenario = get_scenario(name)  # raises KeyError if unregistered
+        assert scenario.name == name
+
+
+def test_fig_and_table_benchmarks_cover_every_paper_artefact(
+    benchmarks_importable,
+):
+    declared: set[str] = set()
+    for path in BENCHMARK_FILES:
+        declared.update(_declared_scenarios(_import_benchmark(path)))
+    figures = {
+        get_scenario(name).figure
+        for name in declared
+        if get_scenario(name).figure
+    }
+    for artefact in ("fig3", "fig4", "fig5", "fig6",
+                     "table1", "table2", "table3", "table4", "table6"):
+        assert artefact in figures, artefact
+
+
+def test_every_figure_scenario_is_claimed_by_some_benchmark(
+    benchmarks_importable,
+):
+    declared: set[str] = set()
+    for path in BENCHMARK_FILES:
+        declared.update(_declared_scenarios(_import_benchmark(path)))
+    paper_scenarios = {s.name for s in iter_scenarios() if s.figure}
+    assert paper_scenarios <= declared
