@@ -27,6 +27,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.mdhf.fragments import FragmentGeometry
 
 #: Allocation schemes for mapping allocation units to disks.
@@ -88,6 +90,7 @@ class DiskAllocation:
         self.page_size = page_size
         self.staggered = staggered
         self.scheme = scheme
+        self._gap = scheme == "gap"
         self.cluster_factor = cluster_factor
 
         # Reserved extent sizes; overridable for skewed databases that
@@ -135,24 +138,35 @@ class DiskAllocation:
 
     # -- placements --------------------------------------------------------
 
+    def fact_location(self, fragment_id: int) -> tuple[int, int]:
+        """``(disk, start_page)`` of one fact fragment.
+
+        The allocation-free twin of :meth:`fact_placement` for the
+        simulator's per-fragment work expansion, which calls it once per
+        subquery and needs no dataclass wrapper.
+        """
+        self._check_fragment(fragment_id)
+        n_disks = self.n_disks
+        unit = fragment_id // self.cluster_factor
+        within = fragment_id - unit * self.cluster_factor
+        slot = unit // n_disks
+        disk = (unit + slot) % n_disks if self._gap else unit % n_disks
+        return disk, slot * self._fact_unit_pages + within * self._fact_pages
+
     def fact_placement(self, fragment_id: int) -> FragmentPlacement:
         """Disk and page extent of one fact fragment."""
-        self._check_fragment(fragment_id)
-        unit = fragment_id // self.cluster_factor
-        within = fragment_id % self.cluster_factor
-        slot = unit // self.n_disks
+        disk, start_page = self.fact_location(fragment_id)
         return FragmentPlacement(
-            disk=self._unit_disk(unit),
-            start_page=slot * self._fact_unit_pages + within * self._fact_pages,
+            disk=disk,
+            start_page=start_page,
             pages=self._fact_pages,
         )
 
-    def bitmap_placement(self, bitmap_index: int, fragment_id: int) -> FragmentPlacement:
-        """Disk and page extent of one bitmap fragment.
+    def bitmap_location(self, bitmap_index: int, fragment_id: int) -> tuple[int, int]:
+        """``(disk, start_page)`` of one bitmap fragment.
 
-        ``bitmap_index`` enumerates the materialised bitmaps ``0..k-1``.
-        With ``cluster_factor > 1`` bitmap fragments pack sub-page within
-        their cluster; use :meth:`bitmap_cluster_placement` instead.
+        The allocation-free twin of :meth:`bitmap_placement` (the extent
+        length is the constant :attr:`bitmap_pages_per_fragment`).
         """
         self._check_fragment(fragment_id)
         self._check_bitmap(bitmap_index)
@@ -161,15 +175,63 @@ class DiskAllocation:
                 "per-fragment bitmap placement is undefined for clustered "
                 "allocations; use bitmap_cluster_placement"
             )
+        n_disks = self.n_disks
         unit = fragment_id
-        slot = unit // self.n_disks
+        slot = unit // n_disks
         start = (
             self._fact_region_pages
             + bitmap_index * self._bitmap_subregion_pages
             + slot * self._bitmap_pages
         )
+        base = (unit + slot) % n_disks if self._gap else unit % n_disks
+        offset = 1 + bitmap_index if self.staggered else 1
+        return (base + offset) % n_disks, start
+
+    def fact_locations(self, fragment_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`fact_location`: ``(disks, start_pages)`` arrays.
+
+        ``fragment_ids`` must already be validated (the caller iterates
+        geometry-derived ids).
+        """
+        n_disks = self.n_disks
+        units = fragment_ids // self.cluster_factor
+        within = fragment_ids - units * self.cluster_factor
+        slots = units // n_disks
+        disks = (units + slots) % n_disks if self._gap else units % n_disks
+        starts = slots * self._fact_unit_pages + within * self._fact_pages
+        return disks, starts
+
+    def bitmap_locations(
+        self, bitmap_index: int, fragment_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`bitmap_location` over validated ids."""
+        self._check_bitmap(bitmap_index)
+        if self.cluster_factor != 1:
+            raise ValueError(
+                "per-fragment bitmap placement is undefined for clustered "
+                "allocations; use bitmap_cluster_placement"
+            )
+        n_disks = self.n_disks
+        slots = fragment_ids // n_disks
+        starts = (
+            self._fact_region_pages
+            + bitmap_index * self._bitmap_subregion_pages
+            + slots * self._bitmap_pages
+        )
+        bases = (fragment_ids + slots) if self._gap else fragment_ids
+        offset = 1 + bitmap_index if self.staggered else 1
+        return (bases + offset) % n_disks, starts
+
+    def bitmap_placement(self, bitmap_index: int, fragment_id: int) -> FragmentPlacement:
+        """Disk and page extent of one bitmap fragment.
+
+        ``bitmap_index`` enumerates the materialised bitmaps ``0..k-1``.
+        With ``cluster_factor > 1`` bitmap fragments pack sub-page within
+        their cluster; use :meth:`bitmap_cluster_placement` instead.
+        """
+        disk, start = self.bitmap_location(bitmap_index, fragment_id)
         return FragmentPlacement(
-            disk=self._bitmap_disk(unit, bitmap_index),
+            disk=disk,
             start_page=start,
             pages=self._bitmap_pages,
         )

@@ -177,6 +177,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.scenarios import (
         ScenarioRunner,
+        compare_to_golden,
         get_scenario,
         iter_scenarios,
         write_report,
@@ -204,8 +205,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: output directory {out_dir!r} does not exist",
               file=sys.stderr)
         return 2
+    run_ids = None
+    if args.runs:
+        run_ids = [part.strip() for part in args.runs.split(",") if part.strip()]
+        known = {run.run_id for run in scenario.expand(fast=args.fast)}
+        unknown = [run_id for run_id in run_ids if run_id not in known]
+        if unknown:
+            print(
+                f"error: unknown run ids {unknown}; known: {sorted(known)}",
+                file=sys.stderr,
+            )
+            return 2
     runner = ScenarioRunner(
-        scenario, workers=args.workers, fast=args.fast, seed=args.seed
+        scenario, workers=args.workers, fast=args.fast, seed=args.seed,
+        run_ids=run_ids,
     )
     report = runner.run()
     write_report(report, out)
@@ -222,6 +235,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"fingerprint: {report.metrics_fingerprint()}")
     print(f"wrote {out} ({len(report.runs)} runs, "
           f"{report.wall_clock_s:.1f}s wall)")
+    if args.check:
+        import json
+
+        with open(args.check) as handle:
+            golden = json.load(handle)
+        problems = compare_to_golden(report, golden)
+        golden_wall = {
+            entry["run_id"]: entry.get("wall_clock_s")
+            for entry in golden.get("runs", [])
+        }
+        for result in report.runs:
+            recorded = golden_wall.get(result.run_id)
+            if recorded:
+                print(
+                    f"  wall delta {result.run_id:<24} "
+                    f"{recorded:.2f}s -> {result.wall_clock_s:.2f}s "
+                    f"({recorded / max(result.wall_clock_s, 1e-9):.2f}x)"
+                )
+        if problems:
+            for problem in problems:
+                print(f"check FAILED: {problem}", file=sys.stderr)
+            return 1
+        print(f"check OK: metrics match {args.check}")
     return 0
 
 
@@ -303,6 +339,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--seed", type=int, default=None,
         help="override every run's seed (default: the registered seeds)",
+    )
+    bench.add_argument(
+        "--runs", default=None,
+        help="comma-separated run_ids: execute only this subset of the "
+             "(possibly fast-reduced) matrix",
+    )
+    bench.add_argument(
+        "--check", default=None, metavar="GOLDEN_JSON",
+        help="compare metrics against a golden BENCH report (exit 1 on "
+             "mismatch) and print wall-clock deltas",
     )
     bench.set_defaults(handler=_cmd_bench)
 

@@ -20,7 +20,7 @@ import math
 from dataclasses import dataclass
 
 from repro.costmodel.estimator import cardenas, distinct_blocks
-from repro.mdhf.fragments import FragmentGeometry
+from repro.mdhf.fragments import geometry_for
 from repro.mdhf.routing import QueryPlan
 from repro.schema.fact import StarSchema
 
@@ -84,7 +84,7 @@ def estimate_io(
     """Estimate the I/O cost of a routed query (Section 4.5)."""
     if params is None:
         params = IOCostParameters()
-    geometry = FragmentGeometry(schema, plan.fragmentation)
+    geometry = geometry_for(schema, plan.fragmentation)
     n_selected = plan.fragment_count
 
     tuples_per_fragment = schema.fact_count / geometry.fragment_count

@@ -21,7 +21,7 @@ import numpy as np
 from repro.bitmap.catalog import IndexCatalog, IndexKind
 from repro.bitmap.encoded import EncodedBitmapJoinIndex
 from repro.bitmap.simple import SimpleBitmapIndex
-from repro.mdhf.fragments import FragmentGeometry
+from repro.mdhf.fragments import FragmentGeometry, geometry_for
 from repro.mdhf.query import StarQuery
 from repro.mdhf.routing import plan_query
 from repro.mdhf.spec import Fragmentation
@@ -62,7 +62,7 @@ class WarehouseEngine:
         self.schema = warehouse.schema
         self.fragmentation = fragmentation
         self.catalog = IndexCatalog(self.schema)
-        self.geometry = FragmentGeometry(self.schema, fragmentation)
+        self.geometry = geometry_for(self.schema, fragmentation)
         self._store = self._partition_rows()
         self._indexes = self._build_indexes()
 

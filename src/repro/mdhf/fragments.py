@@ -32,6 +32,35 @@ class FragmentSizes:
     bitmap_pages_per_fragment: float
 
 
+#: Shared geometries keyed by (schema identity, fragmentation); values
+#: hold a strong schema reference so an ``id()`` is never reused while
+#: its key is alive.  Bounded: cleared wholesale when it grows past
+#: ``_GEOMETRY_CACHE_LIMIT`` (geometries are cheap to rebuild).
+_GEOMETRY_CACHE: dict[tuple[int, Fragmentation], tuple[StarSchema, "FragmentGeometry"]] = {}
+_GEOMETRY_CACHE_LIMIT = 256
+
+
+def geometry_for(
+    schema: StarSchema, fragmentation: Fragmentation
+) -> "FragmentGeometry":
+    """A shared :class:`FragmentGeometry` for (schema, fragmentation).
+
+    Geometries are immutable after construction, so every consumer of
+    the same schema object and fragmentation (cost model, execution
+    engine, simulator database, scenario run points) can share one
+    instance instead of rebuilding the coordinate arithmetic per run.
+    """
+    key = (id(schema), fragmentation)
+    cached = _GEOMETRY_CACHE.get(key)
+    if cached is not None and cached[0] is schema:
+        return cached[1]
+    geometry = FragmentGeometry(schema, fragmentation)
+    if len(_GEOMETRY_CACHE) >= _GEOMETRY_CACHE_LIMIT:
+        _GEOMETRY_CACHE.clear()
+    _GEOMETRY_CACHE[key] = (schema, geometry)
+    return geometry
+
+
 class FragmentGeometry:
     """Coordinate arithmetic and sizing for a fragmentation of a schema."""
 
@@ -58,6 +87,11 @@ class FragmentGeometry:
         """Fragments per axis (range counts for range-partitioned axes;
         equal to the attribute cardinalities for point fragmentations)."""
         return self._cards
+
+    @property
+    def strides(self) -> tuple[int, ...]:
+        """Row-major stride per axis (the last attribute varies fastest)."""
+        return self._strides
 
     def linear_id(self, coordinate: Sequence[int]) -> int:
         """Linear id of a fragment coordinate (Figure 2 order)."""

@@ -87,6 +87,24 @@ class QueryPlan:
         for coordinate in self.iter_coordinates():
             yield geometry.linear_id(coordinate)
 
+    def fragment_id_array(self, geometry: FragmentGeometry):
+        """Selected fragment ids as an int64 numpy array.
+
+        Same ids and order as :meth:`iter_fragment_ids`, computed by
+        broadcasting over the axis values instead of per-coordinate
+        arithmetic (the simulator expands plans with millions of
+        selected fragments).
+        """
+        import numpy as np
+
+        if geometry.fragmentation != self.fragmentation:
+            raise ValueError("geometry built for a different fragmentation")
+        ids = np.zeros(1, dtype=np.int64)
+        for values, stride in zip(self.axis_values, geometry.strides):
+            axis = np.asarray(values, dtype=np.int64) * stride
+            ids = (ids[:, None] + axis).ravel()
+        return ids
+
 
 def plan_query(
     query: StarQuery,

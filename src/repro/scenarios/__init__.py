@@ -22,6 +22,7 @@ from repro.scenarios.runner import (
     BenchReport,
     RunResult,
     ScenarioRunner,
+    compare_to_golden,
     execute_run,
     validate_report,
     write_report,
@@ -35,6 +36,7 @@ __all__ = [
     "RunSpec",
     "ScenarioRunner",
     "ScenarioSpec",
+    "compare_to_golden",
     "execute_run",
     "get_scenario",
     "grid",

@@ -50,6 +50,50 @@ def _schema_for(run: RunSpec):
     return _SCHEMA_CACHE[key]
 
 
+#: SimulatedDatabase instances shared across the run points of one
+#: process.  Keyed by every RunSpec field that shapes the physical
+#: database (geometry, allocation, skew); run points that differ only
+#: in scheduling knobs (node count, task limit, seed without skew)
+#: reuse the same database object.
+_DATABASE_CACHE: dict[tuple, object] = {}
+_DATABASE_CACHE_LIMIT = 64
+
+
+def _database_key(run: RunSpec) -> tuple:
+    return (
+        run.schema,
+        run.channels,
+        run.density,
+        run.fragmentation,
+        run.n_disks,
+        run.staggered_allocation,
+        run.allocation_scheme,
+        run.cluster_factor,
+        run.data_skew,
+        run.io_coalesce,
+        run.seed if run.data_skew > 0 else None,
+    )
+
+
+def _database_for(run: RunSpec, schema):
+    key = _database_key(run)
+    database = _DATABASE_CACHE.get(key)
+    if database is None:
+        from repro.sim.database import SimulatedDatabase
+
+        params = run.sim_params()
+        database = SimulatedDatabase(
+            schema=schema,
+            fragmentation=run.parsed_fragmentation(),
+            params=params,
+            staggered=params.staggered_allocation,
+        )
+        if len(_DATABASE_CACHE) >= _DATABASE_CACHE_LIMIT:
+            _DATABASE_CACHE.clear()
+        _DATABASE_CACHE[key] = database
+    return database
+
+
 @dataclass(frozen=True)
 class RunResult:
     """Outcome of one executed run point."""
@@ -74,7 +118,10 @@ def _sim_metrics(run: RunSpec) -> dict:
 
     schema = _schema_for(run)
     simulator = ParallelWarehouseSimulator(
-        schema, run.parsed_fragmentation(), run.sim_params()
+        schema,
+        run.parsed_fragmentation(),
+        run.sim_params(),
+        database=_database_for(run, schema),
     )
     query = query_type(run.query).instantiate(schema, random.Random(run.seed))
     result = simulator.run([query])
@@ -102,7 +149,10 @@ def _multi_user_metrics(run: RunSpec) -> dict:
 
     schema = _schema_for(run)
     simulator = ParallelWarehouseSimulator(
-        schema, run.parsed_fragmentation(), run.sim_params()
+        schema,
+        run.parsed_fragmentation(),
+        run.sim_params(),
+        database=_database_for(run, schema),
     )
     template = query_type(run.query)
     streams = [
@@ -315,24 +365,40 @@ class BenchReport:
 
 
 def _derived_metrics(runs: list[RunResult]) -> dict:
-    """Cross-run comparisons for simulation scenarios."""
+    """Cross-run comparisons for simulation scenarios.
+
+    Includes a wall-clock block (host seconds, outside the metrics
+    fingerprint) so BENCH diffs surface performance regressions of the
+    simulator itself, not only model-level changes.
+    """
+    derived: dict = {}
+    if runs:
+        derived["wall_clock"] = {
+            "total_s": round(sum(r.wall_clock_s for r in runs), 3),
+            "max_run_s": round(max(r.wall_clock_s for r in runs), 3),
+            "slowest_run": max(runs, key=lambda r: r.wall_clock_s).run_id,
+        }
     timed = {
         r.run_id: r.metrics["response_time_s"]
         for r in runs
         if "response_time_s" in r.metrics
     }
     if not timed:
-        return {}
+        return derived
     slowest = max(timed.values())
     fastest = min(timed.values())
-    return {
-        "slowest_run": max(timed, key=timed.get),
-        "fastest_run": min(timed, key=timed.get),
-        "speedup_vs_slowest": {
-            run_id: _round6(slowest / value) for run_id, value in timed.items()
-        },
-        "response_spread": _round6(slowest / fastest) if fastest else None,
-    }
+    derived.update(
+        {
+            "slowest_run": max(timed, key=timed.get),
+            "fastest_run": min(timed, key=timed.get),
+            "speedup_vs_slowest": {
+                run_id: _round6(slowest / value)
+                for run_id, value in timed.items()
+            },
+            "response_spread": _round6(slowest / fastest) if fastest else None,
+        }
+    )
+    return derived
 
 
 class ScenarioRunner:
@@ -344,6 +410,7 @@ class ScenarioRunner:
         workers: int | None = None,
         fast: bool = False,
         seed: int | None = None,
+        run_ids: list[str] | None = None,
     ):
         if isinstance(scenario, str):
             from repro.scenarios.registry import get_scenario
@@ -353,11 +420,22 @@ class ScenarioRunner:
         self.workers = workers if workers is not None else 1
         self.fast = fast
         self.seed = seed
+        self.run_ids = run_ids
 
     def _runs(self) -> list[RunSpec]:
         from dataclasses import replace
 
         runs = list(self.scenario.expand(fast=self.fast))
+        if self.run_ids is not None:
+            known = {run.run_id for run in runs}
+            unknown = [rid for rid in self.run_ids if rid not in known]
+            if unknown:
+                raise ValueError(
+                    f"unknown run ids for scenario "
+                    f"{self.scenario.name!r}: {unknown}; known: {sorted(known)}"
+                )
+            wanted = set(self.run_ids)
+            runs = [run for run in runs if run.run_id in wanted]
         if self.seed is not None:
             runs = [replace(run, seed=self.seed) for run in runs]
         return runs
@@ -394,6 +472,43 @@ class ScenarioRunner:
             report.derived = _derived_metrics(report.runs)
         report.wall_clock_s = time.perf_counter() - started
         return report
+
+
+def compare_to_golden(report: BenchReport, golden: dict) -> list[str]:
+    """Differences between a report and a golden BENCH report dict.
+
+    Compares per-run config hashes and metrics for the runs the report
+    executed — the report may cover a subset of the golden's run matrix
+    (``repro bench --runs``).  When the report covers every golden run,
+    the whole-report ``metrics_fingerprint`` is compared too.  Returns
+    human-readable difference strings; an empty list means the report
+    matches the golden.
+    """
+    problems = []
+    golden_runs = {entry["run_id"]: entry for entry in golden.get("runs", [])}
+    for result in report.runs:
+        entry = golden_runs.get(result.run_id)
+        if entry is None:
+            problems.append(f"run {result.run_id!r} not in the golden report")
+            continue
+        if entry["config_hash"] != result.config_hash:
+            problems.append(
+                f"run {result.run_id!r}: config_hash "
+                f"{result.config_hash} != golden {entry['config_hash']}"
+            )
+        if entry["metrics"] != result.metrics:
+            keys = sorted(
+                key
+                for key in set(entry["metrics"]) | set(result.metrics)
+                if entry["metrics"].get(key) != result.metrics.get(key)
+            )
+            problems.append(
+                f"run {result.run_id!r}: metrics differ on {keys}"
+            )
+    if not problems and len(report.runs) == len(golden_runs):
+        if report.metrics_fingerprint() != golden.get("metrics_fingerprint"):
+            problems.append("metrics_fingerprint differs")
+    return problems
 
 
 def write_report(report: BenchReport, path: str) -> None:

@@ -17,11 +17,13 @@ import math
 from dataclasses import dataclass
 from typing import Iterator
 
+import numpy as np
+
 from repro.allocation.placement import DiskAllocation
 from repro.bitmap.catalog import IndexCatalog
 from repro.costmodel.estimator import cardenas, distinct_blocks
 from repro.mdhf.elimination import eliminate_bitmaps
-from repro.mdhf.fragments import FragmentGeometry
+from repro.mdhf.fragments import geometry_for
 from repro.mdhf.query import StarQuery
 from repro.mdhf.routing import QueryPlan, plan_query
 from repro.mdhf.spec import Fragmentation
@@ -31,20 +33,63 @@ from repro.sim.config import SimulationParameters
 
 @dataclass
 class SubqueryWork:
-    """Everything one subquery (one fact fragment or cluster) must do."""
+    """Everything one subquery (one fact fragment or cluster) must do.
+
+    Extents are stored *relative* to a base page: fragments of one run
+    share the same extent template (they differ only in where their
+    reserved extent starts), so templates — including their grouping
+    into ``io_coalesce`` disk-request batches and the page sums per
+    batch — are built once and shared by every subquery, instead of
+    materialising per-fragment absolute extent lists.  The
+    :attr:`fact_extents` / :attr:`bitmap_reads` properties provide the
+    absolute view.
+    """
 
     fragment_id: int
     fact_disk: int
-    #: Page extents (start, pages) to read from the fact fragment.
-    fact_extents: list[tuple[int, int]]
+    #: Base page of the fact extents; extents are offsets against it.
+    fact_start: int
+    #: Disk-request batches: (relative extents, pages in batch) per
+    #: ``io_coalesce`` group, in fragment order.
+    fact_batches: list[tuple[list[tuple[int, int]], int]]
     fact_pages: int
-    #: One (disk, extents) entry per bitmap fragment to read.
-    bitmap_reads: list[tuple[int, list[tuple[int, int]]]]
+    #: One (disk, base page, relative extents, total pages) entry per
+    #: bitmap fragment to read.
+    bitmap_reads_rel: list[tuple[int, int, list[tuple[int, int]], int]]
     bitmap_pages: int
     #: Rows this subquery extracts and aggregates.
     relevant_rows: int
     #: Fact fragments covered (> 1 under Section 6.3 clustering).
     fragment_count: int = 1
+
+    @property
+    def fact_extents(self) -> list[tuple[int, int]]:
+        """Absolute (start page, pages) extents of the fact reads."""
+        base = self.fact_start
+        return [
+            (base + offset, pages)
+            for batch, _pages in self.fact_batches
+            for offset, pages in batch
+        ]
+
+    @property
+    def bitmap_reads(self) -> list[tuple[int, list[tuple[int, int]]]]:
+        """Absolute (disk, extents) view of the bitmap reads."""
+        return [
+            (disk, [(start + offset, pages) for offset, pages in extents])
+            for disk, start, extents, _pages in self.bitmap_reads_rel
+        ]
+
+
+def batch_extents(
+    extents: list[tuple[int, int]], coalesce: int
+) -> list[tuple[list[tuple[int, int]], int]]:
+    """Group an extent list into ``io_coalesce`` disk-request batches."""
+    batches = []
+    for index in range(0, len(extents), coalesce):
+        batch = extents[index : index + coalesce]
+        batches.append((batch, sum(pages for _, pages in batch)))
+    return batches
 
 
 class _Spreader:
@@ -69,6 +114,21 @@ class _Spreader:
         return value
 
 
+def _spread_counts(rate: float, n: int) -> list[int]:
+    """The first ``n`` values of ``_Spreader(rate)``, vectorised.
+
+    Element operations (multiply, add epsilon, floor) are the same
+    IEEE-754 operations the scalar spreader performs, so the integer
+    sequence is identical.
+    """
+    if rate < 0:
+        raise ValueError("rate must be non-negative")
+    targets = np.floor(
+        rate * np.arange(1, n + 1, dtype=np.float64) + 1e-9
+    ).astype(np.int64)
+    return np.diff(targets, prepend=0).tolist()
+
+
 class SimulatedDatabase:
     """The allocated star schema as seen by the simulator."""
 
@@ -84,7 +144,7 @@ class SimulatedDatabase:
         self.fragmentation = fragmentation
         self.params = params
         self.catalog = catalog if catalog is not None else IndexCatalog(schema)
-        self.geometry = FragmentGeometry(schema, fragmentation)
+        self.geometry = geometry_for(schema, fragmentation)
         self.elimination = eliminate_bitmaps(self.catalog, fragmentation)
         self._tuples_per_page = schema.tuples_per_page(params.buffer.page_size)
         self._tuples_per_fragment = schema.fact_count / self.geometry.fragment_count
@@ -133,16 +193,6 @@ class SimulatedDatabase:
         raw = self._tuples_per_fragment / 8 / buffer.page_size
         return max(1, min(buffer.prefetch_bitmap_pages, math.ceil(raw)))
 
-    def _bitmap_extents(self, placement) -> list[tuple[int, int]]:
-        granule = self._bitmap_granule()
-        extents = []
-        offset = 0
-        while offset < placement.pages:
-            pages = min(granule, placement.pages - offset)
-            extents.append((placement.start_page + offset, pages))
-            offset += pages
-        return extents
-
     # -- work expansion ---------------------------------------------------------
 
     def iter_subquery_work(self, plan: QueryPlan) -> Iterator[SubqueryWork]:
@@ -165,9 +215,13 @@ class SimulatedDatabase:
         pages_per_fragment = self.fact_pages_per_fragment
         granules_per_fragment = math.ceil(pages_per_fragment / prefetch)
 
-        hit_spreader = _Spreader(plan.hits_per_fragment)
+        fragment_ids = plan.fragment_id_array(self.geometry)
+        n_selected = fragment_ids.size
+        if not n_selected:
+            return
+        relevants = _spread_counts(plan.hits_per_fragment, n_selected)
         if plan.all_rows_relevant:
-            granule_spreader = None
+            counts = None
         else:
             hit_pages = distinct_blocks(
                 round(self._tuples_per_fragment),
@@ -178,46 +232,82 @@ class SimulatedDatabase:
                 float(granules_per_fragment),
                 cardenas(granules_per_fragment, hit_pages),
             )
-            granule_spreader = _Spreader(hit_granules)
+            counts = _spread_counts(hit_granules, n_selected)
+
+        # All fragments share the fragment geometry, so extent lists are
+        # fragment-relative *templates* shared across subqueries; the
+        # handful of distinct hit-granule counts each get one template,
+        # pre-grouped into io_coalesce disk-request batches.
+        coalesce = self.params.io_coalesce
+        full_batches = batch_extents(
+            self._sequential_extents(0, pages_per_fragment, prefetch),
+            coalesce,
+        )
+        spread_batches: dict[
+            int, tuple[list[tuple[list[tuple[int, int]], int]], int]
+        ] = {}
 
         n_bitmaps = plan.bitmaps_per_fragment
-        for fragment_id in plan.iter_fragment_ids(self.geometry):
-            fact = self.allocation.fact_placement(fragment_id)
-            relevant = hit_spreader.next()
+        allocation = self.allocation
+        fact_disks, fact_starts = allocation.fact_locations(fragment_ids)
+        bitmap_pages_per_fragment = allocation.bitmap_pages_per_fragment
+        bitmap_granule = self._bitmap_granule()
+        bitmap_template = self._sequential_extents(
+            0, bitmap_pages_per_fragment, bitmap_granule
+        )
+        bitmap_pages_total = n_bitmaps * bitmap_pages_per_fragment
+        bitmap_locations = [
+            (disks.tolist(), starts.tolist())
+            for disks, starts in (
+                allocation.bitmap_locations(index, fragment_ids)
+                for index in range(n_bitmaps)
+            )
+        ]
 
-            if granule_spreader is None:
-                extents = self._sequential_extents(
-                    fact.start_page, pages_per_fragment, prefetch
-                )
+        fragment_id_list = fragment_ids.tolist()
+        fact_disk_list = fact_disks.tolist()
+        fact_start_list = fact_starts.tolist()
+        for i, fragment_id in enumerate(fragment_id_list):
+            if counts is None:
+                batches = full_batches
+                fact_pages = pages_per_fragment
             else:
-                count = granule_spreader.next()
-                extents = self._spread_extents(
-                    fact.start_page,
-                    pages_per_fragment,
-                    prefetch,
-                    granules_per_fragment,
-                    count,
-                )
+                count = counts[i]
+                cached = spread_batches.get(count)
+                if cached is None:
+                    template = self._spread_extents(
+                        0,
+                        pages_per_fragment,
+                        prefetch,
+                        granules_per_fragment,
+                        count,
+                    )
+                    cached = (
+                        batch_extents(template, coalesce),
+                        sum(pages for _, pages in template),
+                    )
+                    spread_batches[count] = cached
+                batches, fact_pages = cached
 
-            bitmap_reads = []
-            bitmap_pages = 0
-            for bitmap_index in range(n_bitmaps):
-                placement = self.allocation.bitmap_placement(
-                    bitmap_index, fragment_id
+            bitmap_reads = [
+                (
+                    disks[i],
+                    starts[i],
+                    bitmap_template,
+                    bitmap_pages_per_fragment,
                 )
-                bitmap_reads.append(
-                    (placement.disk, self._bitmap_extents(placement))
-                )
-                bitmap_pages += placement.pages
+                for disks, starts in bitmap_locations
+            ]
 
             yield SubqueryWork(
                 fragment_id=fragment_id,
-                fact_disk=fact.disk,
-                fact_extents=extents,
-                fact_pages=sum(pages for _, pages in extents),
-                bitmap_reads=bitmap_reads,
-                bitmap_pages=bitmap_pages,
-                relevant_rows=relevant,
+                fact_disk=fact_disk_list[i],
+                fact_start=fact_start_list[i],
+                fact_batches=batches,
+                fact_pages=fact_pages,
+                bitmap_reads_rel=bitmap_reads,
+                bitmap_pages=bitmap_pages_total,
+                relevant_rows=relevants[i],
             )
 
     #: Refuse to materialise per-fragment skew arrays beyond this size.
@@ -299,25 +389,30 @@ class SimulatedDatabase:
                 granule = buffer.prefetch_bitmap_pages
                 if buffer.adaptive_bitmap_prefetch:
                     granule = max(1, min(granule, math.ceil(raw_pages)))
+                extents_b = self._sequential_extents(
+                    0, fragment_bitmap_pages, granule
+                )
                 for bitmap_index in range(n_bitmaps):
                     placement = self.allocation.bitmap_placement(
                         bitmap_index, fragment_id
                     )
-                    extents_b = []
-                    offset = 0
-                    while offset < fragment_bitmap_pages:
-                        step = min(granule, fragment_bitmap_pages - offset)
-                        extents_b.append((placement.start_page + offset, step))
-                        offset += step
-                    bitmap_reads.append((placement.disk, extents_b))
+                    bitmap_reads.append(
+                        (
+                            placement.disk,
+                            placement.start_page,
+                            extents_b,
+                            fragment_bitmap_pages,
+                        )
+                    )
                     bitmap_pages += fragment_bitmap_pages
 
             yield SubqueryWork(
                 fragment_id=fragment_id,
                 fact_disk=fact.disk,
-                fact_extents=extents,
+                fact_start=0,
+                fact_batches=batch_extents(extents, self.params.io_coalesce),
                 fact_pages=sum(p for _, p in extents),
-                bitmap_reads=bitmap_reads,
+                bitmap_reads_rel=bitmap_reads,
                 bitmap_pages=bitmap_pages,
                 relevant_rows=relevant,
             )
@@ -334,8 +429,12 @@ class SimulatedDatabase:
         pages_per_fragment = self.fact_pages_per_fragment
         granules_per_fragment = math.ceil(pages_per_fragment / prefetch)
 
-        hit_spreader = _Spreader(plan.hits_per_fragment)
-        granule_spreader = None
+        ids = plan.fragment_id_array(self.geometry)
+        n_selected = ids.size
+        if not n_selected:
+            return
+        relevants = _spread_counts(plan.hits_per_fragment, n_selected)
+        counts = None
         if not plan.all_rows_relevant:
             hit_pages = distinct_blocks(
                 round(self._tuples_per_fragment),
@@ -346,72 +445,83 @@ class SimulatedDatabase:
                 float(granules_per_fragment),
                 cardenas(granules_per_fragment, hit_pages),
             )
-            granule_spreader = _Spreader(hit_granules)
+            counts = _spread_counts(hit_granules, n_selected)
 
+        allocation = self.allocation
+        fact_disks, fact_starts = allocation.fact_locations(ids)
+        fact_disk_list = fact_disks.tolist()
+        fact_start_list = fact_starts.tolist()
+        id_list = ids.tolist()
+        units = ids // self.params.cluster_factor
+        # Group boundaries: consecutive runs of equal allocation unit.
+        boundaries = (np.flatnonzero(np.diff(units)) + 1).tolist()
+        group_starts = [0] + boundaries
+        group_ends = boundaries + [n_selected]
+        unit_list = units.tolist()
+
+        coalesce = self.params.io_coalesce
+        full_template = self._sequential_extents(
+            0, pages_per_fragment, prefetch
+        )
+        spread_templates: dict[int, list[tuple[int, int]]] = {}
         n_bitmaps = plan.bitmaps_per_fragment
-        for unit, fragment_ids in self._group_by_unit(plan):
+
+        for group_start, group_end in zip(group_starts, group_ends):
             fact_extents: list[tuple[int, int]] = []
+            fact_pages = 0
             relevant = 0
-            fact_disk = None
-            for fragment_id in fragment_ids:
-                fact = self.allocation.fact_placement(fragment_id)
-                fact_disk = fact.disk
-                relevant += hit_spreader.next()
-                if granule_spreader is None:
-                    fact_extents.extend(
-                        self._sequential_extents(
-                            fact.start_page, pages_per_fragment, prefetch
-                        )
-                    )
+            for i in range(group_start, group_end):
+                start_page = fact_start_list[i]
+                relevant += relevants[i]
+                if counts is None:
+                    template = full_template
+                    pages = pages_per_fragment
                 else:
-                    fact_extents.extend(
-                        self._spread_extents(
-                            fact.start_page,
+                    count = counts[i]
+                    template = spread_templates.get(count)
+                    if template is None:
+                        template = self._spread_extents(
+                            0,
                             pages_per_fragment,
                             prefetch,
                             granules_per_fragment,
-                            granule_spreader.next(),
+                            count,
                         )
-                    )
+                        spread_templates[count] = template
+                    pages = sum(p for _, p in template)
+                fact_extents.extend(
+                    (start_page + offset, extent_pages)
+                    for offset, extent_pages in template
+                )
+                fact_pages += pages
+            unit = unit_list[group_start]
+            selected_in_group = group_end - group_start
             bitmap_reads = []
             bitmap_pages = 0
             for bitmap_index in range(n_bitmaps):
-                placement = self.allocation.bitmap_cluster_placement(
-                    bitmap_index, unit, fragments_selected=len(fragment_ids)
+                placement = allocation.bitmap_cluster_placement(
+                    bitmap_index, unit, fragments_selected=selected_in_group
                 )
                 bitmap_reads.append(
                     (
                         placement.disk,
-                        [(placement.start_page, placement.pages)],
+                        placement.start_page,
+                        [(0, placement.pages)],
+                        placement.pages,
                     )
                 )
                 bitmap_pages += placement.pages
-            assert fact_disk is not None
             yield SubqueryWork(
-                fragment_id=fragment_ids[0],
-                fact_disk=fact_disk,
-                fact_extents=fact_extents,
-                fact_pages=sum(pages for _, pages in fact_extents),
-                bitmap_reads=bitmap_reads,
+                fragment_id=id_list[group_start],
+                fact_disk=fact_disk_list[group_start],
+                fact_start=0,
+                fact_batches=batch_extents(fact_extents, coalesce),
+                fact_pages=fact_pages,
+                bitmap_reads_rel=bitmap_reads,
                 bitmap_pages=bitmap_pages,
                 relevant_rows=relevant,
-                fragment_count=len(fragment_ids),
+                fragment_count=selected_in_group,
             )
-
-    def _group_by_unit(self, plan: QueryPlan):
-        """Group selected fragment ids (ascending) by allocation unit."""
-        current_unit: int | None = None
-        group: list[int] = []
-        for fragment_id in plan.iter_fragment_ids(self.geometry):
-            unit = self.allocation.unit_of(fragment_id)
-            if unit != current_unit:
-                if group:
-                    yield current_unit, group
-                current_unit = unit
-                group = []
-            group.append(fragment_id)
-        if group:
-            yield current_unit, group
 
     @staticmethod
     def _sequential_extents(

@@ -4,15 +4,33 @@ A minimal, fast substitute for the CSIM library used by the original
 SIMPAD: simulation *processes* are Python generators that ``yield``
 :class:`Event` objects and are resumed when those events trigger.
 Events carry a value; :class:`AllOf` joins several events (used for
-parallel bitmap I/O within a subquery).
+parallel bitmap I/O within a subquery) and triggers with the list of
+its children's values in child order.
 
 The engine is deliberately small — the behavioural fidelity of the
 simulation lives in the server models (disk, CPU, network), not here.
+
+Dispatch order is the total order of ``(time, seq)``: ties at one
+simulation time resolve in scheduling (FIFO) order.  Two fast paths
+preserve that order exactly while avoiding heap traffic for the
+dominant zero-delay case:
+
+* callbacks scheduled with zero delay *during* dispatch go to a FIFO
+  ready deque that is merged with the time heap by ``(time, seq)``;
+* ``Event.succeed`` runs a sole waiter inline when nothing else is
+  pending at the current time (the ready deque is empty and the heap
+  head lies strictly in the future), since the waiter's fresh ``seq``
+  would make it the very next dispatch anyway.
+
+Both paths count into ``Environment.event_count`` exactly as if the
+callback had travelled through the heap, so event statistics are
+independent of the fast paths.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable
 
 #: Type of a simulation process body.
@@ -20,13 +38,18 @@ ProcessBody = Generator["Event", Any, Any]
 
 
 class Event:
-    """A one-shot occurrence processes can wait on."""
+    """A one-shot occurrence processes can wait on.
+
+    ``callbacks`` holds ``None`` (no waiter), a bare callable (the
+    dominant single-waiter case, no list allocation) or a list of
+    callables.
+    """
 
     __slots__ = ("env", "callbacks", "triggered", "value")
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: list[Callable[[Any], None]] = []
+        self.callbacks: Any = None
         self.triggered = False
         self.value: Any = None
 
@@ -36,27 +59,55 @@ class Event:
             raise RuntimeError("event already triggered")
         self.triggered = True
         self.value = value
-        for callback in self.callbacks:
-            self.env._schedule(0.0, callback, value)
-        self.callbacks.clear()
+        callbacks = self.callbacks
+        if callbacks is None:
+            return self
+        self.callbacks = None
+        env = self.env
+        if callbacks.__class__ is list:
+            for callback in callbacks:
+                env._schedule(0.0, callback, value)
+        elif (
+            env._dispatching
+            and not env._ready
+            and (not env._heap or env._heap[0][0] > env._now)
+        ):
+            # Sole waiter and nothing else pending at this instant: its
+            # fresh seq would make it the very next dispatch — run inline.
+            env.event_count += 1
+            callbacks(value)
+        else:
+            env._schedule(0.0, callbacks, value)
         return self
 
     def wait(self, callback: Callable[[Any], None]) -> None:
         """Register a callback; fires immediately if already triggered."""
         if self.triggered:
             self.env._schedule(0.0, callback, self.value)
+            return
+        current = self.callbacks
+        if current is None:
+            self.callbacks = callback
+        elif current.__class__ is list:
+            current.append(callback)
         else:
-            self.callbacks.append(callback)
+            self.callbacks = [current, callback]
 
 
 class AllOf(Event):
-    """An event that triggers once every child event has triggered."""
+    """An event that triggers once every child event has triggered.
 
-    __slots__ = ("_pending",)
+    Its value is the list of the children's values in child order, so
+    joined work (e.g. parallel bitmap I/O over staggered fragments) can
+    propagate per-fragment results through the join.
+    """
+
+    __slots__ = ("_pending", "_events")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         events = list(events)
+        self._events = events
         self._pending = len(events)
         if self._pending == 0:
             self.succeed([])
@@ -67,40 +118,50 @@ class AllOf(Event):
     def _on_child(self, _value: Any) -> None:
         self._pending -= 1
         if self._pending == 0 and not self.triggered:
-            self.succeed(None)
+            self.succeed([event.value for event in self._events])
 
 
 class Process:
     """A running simulation process wrapping a generator body."""
 
-    __slots__ = ("env", "_body", "done")
+    __slots__ = ("env", "_send", "_resume_cb", "done")
 
     def __init__(self, env: "Environment", body: ProcessBody):
         self.env = env
-        self._body = body
+        self._send = body.send
+        self._resume_cb = self._resume
         self.done = Event(env)
-        env._schedule(0.0, self._resume, None)
+        env._schedule(0.0, self._resume_cb, None)
 
     def _resume(self, value: Any) -> None:
         try:
-            event = self._body.send(value)
+            event = self._send(value)
         except StopIteration as stop:
             self.done.succeed(stop.value)
             return
-        if not isinstance(event, Event):
+        if event.__class__ is not Event and not isinstance(event, Event):
             raise TypeError(
                 f"process yielded {type(event).__name__}, expected Event"
             )
-        event.wait(self._resume)
+        event.wait(self._resume_cb)
 
 
 class Environment:
-    """The event loop: a clock and a time-ordered schedule."""
+    """The event loop: a clock, a time heap and a zero-delay ready deque.
+
+    Invariant: every entry in the ready deque was scheduled at the
+    current simulation time (zero delay during dispatch), so merging it
+    with the heap only needs a ``(time, seq)`` comparison against the
+    heap head.
+    """
 
     def __init__(self):
         self._now = 0.0
         self._heap: list[tuple[float, int, Callable[[Any], None], Any]] = []
+        #: Zero-delay callbacks scheduled during dispatch: (seq, cb, value).
+        self._ready: deque[tuple[int, Callable[[Any], None], Any]] = deque()
         self._seq = 0
+        self._dispatching = False
         self.event_count = 0
 
     @property
@@ -114,7 +175,12 @@ class Environment:
         if delay < 0:
             raise ValueError("cannot schedule into the past")
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, callback, value))
+        if delay == 0.0 and self._dispatching:
+            self._ready.append((self._seq, callback, value))
+        else:
+            heapq.heappush(
+                self._heap, (self._now + delay, self._seq, callback, value)
+            )
 
     def event(self) -> Event:
         return Event(self)
@@ -122,13 +188,8 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Event:
         """An event triggering ``delay`` seconds from now."""
         event = Event(self)
-        self._schedule(delay, self._trigger, (event, value))
+        self._schedule(delay, event.succeed, value)
         return event
-
-    @staticmethod
-    def _trigger(pair: tuple[Event, Any]) -> None:
-        event, value = pair
-        event.succeed(value)
 
     def process(self, body: ProcessBody) -> Process:
         """Start a new process; returns a handle whose ``done`` event
@@ -141,24 +202,65 @@ class Environment:
     def run(self, until: float | None = None) -> float:
         """Execute events until the schedule drains (or ``until``)."""
         heap = self._heap
-        while heap:
-            time, _seq, callback, value = heapq.heappop(heap)
-            if until is not None and time > until:
-                heapq.heappush(heap, (time, _seq, callback, value))
-                self._now = until
-                return self._now
-            self._now = time
-            self.event_count += 1
-            callback(value)
+        ready = self._ready
+        pop = heapq.heappop
+        count = 0
+        was_dispatching = self._dispatching
+        self._dispatching = True
+        try:
+            while True:
+                if ready and (
+                    not heap
+                    or heap[0][0] > self._now
+                    or heap[0][1] > ready[0][0]
+                ):
+                    _seq, callback, value = ready.popleft()
+                    count += 1
+                    callback(value)
+                    continue
+                if not heap:
+                    break
+                time = heap[0][0]
+                if until is not None and time > until:
+                    self._now = until
+                    return self._now
+                _time, _seq, callback, value = pop(heap)
+                self._now = time
+                count += 1
+                callback(value)
+        finally:
+            self._dispatching = was_dispatching
+            self.event_count += count
         return self._now
 
     def run_until_event(self, event: Event) -> Any:
         """Run until a specific event triggers; returns its value."""
-        while self._heap and not event.triggered:
-            time, _seq, callback, value = heapq.heappop(self._heap)
-            self._now = time
-            self.event_count += 1
-            callback(value)
+        heap = self._heap
+        ready = self._ready
+        pop = heapq.heappop
+        count = 0
+        was_dispatching = self._dispatching
+        self._dispatching = True
+        try:
+            while not event.triggered:
+                if ready and (
+                    not heap
+                    or heap[0][0] > self._now
+                    or heap[0][1] > ready[0][0]
+                ):
+                    _seq, callback, value = ready.popleft()
+                    count += 1
+                    callback(value)
+                    continue
+                if not heap:
+                    break
+                time, _seq, callback, value = pop(heap)
+                self._now = time
+                count += 1
+                callback(value)
+        finally:
+            self._dispatching = was_dispatching
+            self.event_count += count
         if not event.triggered:
             raise RuntimeError("schedule drained before the event triggered")
         return event.value

@@ -5,59 +5,118 @@ capture access conflicts and delays" (Section 5).  A request joins the
 queue; its service time is computed when service *starts* (disks need
 the head position at that moment), and its completion event carries the
 request's value.
+
+Accounting rules:
+
+* ``queue_time`` accrues when service starts (waiting ends);
+* ``busy_time`` and ``request_count`` accrue when service *completes*,
+  so a truncated run (``Environment.run(until=...)``) never reports
+  more busy time than has actually elapsed.  Because the server is FIFO
+  and single, completion order equals start order, so the accrual order
+  (and thus the floating-point sum) is unchanged by this rule.
+
+``service`` may be a callable priced at service start (disks) or a
+plain float for pre-priced requests (CPU bursts) — the float form
+avoids a closure per request on the hot path.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Callable
 
 from repro.sim.engine import Environment, Event
+
+#: Tolerance for the utilization sanity check (float accumulation).
+_UTILIZATION_SLACK = 1e-9
 
 
 class FifoServer:
     """A single server with a FIFO queue and start-time service pricing."""
 
+    __slots__ = (
+        "env",
+        "name",
+        "_queue",
+        "_busy",
+        "busy_time",
+        "request_count",
+        "queue_time",
+    )
+
     def __init__(self, env: Environment, name: str = ""):
         self.env = env
         self.name = name
-        self._queue: deque[tuple[Callable[[], float], Event, Any]] = deque()
+        #: Waiting requests: (service, done, value, enqueue_time).
+        self._queue: deque[
+            tuple[Callable[[], float] | float, Event, Any, float]
+        ] = deque()
         self._busy = False
         # Statistics
         self.busy_time = 0.0
         self.request_count = 0
         self.queue_time = 0.0
-        self._last_enqueue: deque[float] = deque()
 
-    def submit(self, service: Callable[[], float], value: Any = None) -> Event:
+    def _price(self, service: Callable[[], float] | float) -> float:
+        """Service duration of a request reaching the server.
+
+        Subclasses may extend the accepted ``service`` forms (the disk
+        prices extent lists directly).
+        """
+        return service() if callable(service) else service
+
+    def submit(
+        self, service: Callable[[], float] | float, value: Any = None
+    ) -> Event:
         """Enqueue a request; returns its completion event.
 
-        ``service`` is called when the request reaches the server and
-        must return the service duration in seconds.
+        ``service`` is priced by :meth:`_price` when the request reaches
+        the server: a float is taken verbatim, a callable is invoked.
         """
-        done = Event(self.env)
-        self._queue.append((service, done, value))
-        self._last_enqueue.append(self.env.now)
-        if not self._busy:
-            self._start_next()
+        env = self.env
+        done = Event(env)
+        if self._busy:
+            self._queue.append((service, done, value, env._now))
+        else:
+            self._busy = True
+            duration = self._price(service)
+            if duration < 0:
+                raise ValueError(f"negative service time on {self.name!r}")
+            # Scheduling inlined (hot path): a zero-duration completion
+            # lands on the heap at (now, seq), which the dispatch merge
+            # orders exactly like the ready deque would.
+            env._seq = seq = env._seq + 1
+            heappush(
+                env._heap,
+                (env._now + duration, seq, self._complete, (done, value, duration)),
+            )
         return done
 
-    def _start_next(self) -> None:
-        service, done, value = self._queue.popleft()
-        self.queue_time += self.env.now - self._last_enqueue.popleft()
-        self._busy = True
-        duration = service()
-        if duration < 0:
-            raise ValueError(f"negative service time on {self.name!r}")
+    def _complete(self, entry: tuple[Event, Any, float]) -> None:
+        done, value, duration = entry
         self.busy_time += duration
         self.request_count += 1
-        self.env._schedule(duration, self._complete, (done, value))
-
-    def _complete(self, pair: tuple[Event, Any]) -> None:
-        done, value = pair
-        self._busy = False
-        if self._queue:
-            self._start_next()
+        queue = self._queue
+        if queue:
+            service, next_done, next_value, enqueued = queue.popleft()
+            env = self.env
+            self.queue_time += env._now - enqueued
+            next_duration = self._price(service)
+            if next_duration < 0:
+                raise ValueError(f"negative service time on {self.name!r}")
+            env._seq = seq = env._seq + 1
+            heappush(
+                env._heap,
+                (
+                    env._now + next_duration,
+                    seq,
+                    self._complete,
+                    (next_done, next_value, next_duration),
+                ),
+            )
+        else:
+            self._busy = False
         done.succeed(value)
 
     @property
@@ -65,7 +124,18 @@ class FifoServer:
         return len(self._queue) + (1 if self._busy else 0)
 
     def utilization(self, elapsed: float) -> float:
-        """Fraction of ``elapsed`` this server spent busy."""
+        """Fraction of ``elapsed`` this server spent busy.
+
+        Completed service can never exceed wall time on a single FIFO
+        server; a ratio above 1.0 means broken accounting, so it raises
+        instead of being clamped out of sight.
+        """
         if elapsed <= 0:
             return 0.0
-        return min(1.0, self.busy_time / elapsed)
+        ratio = self.busy_time / elapsed
+        if ratio > 1.0 + _UTILIZATION_SLACK:
+            raise AssertionError(
+                f"server {self.name!r} accounted busy_time {self.busy_time!r}"
+                f" > elapsed {elapsed!r} (utilization {ratio:.6f})"
+            )
+        return ratio

@@ -55,6 +55,7 @@ class QueryExecutor:
         network: Network,
         buffers: list[BufferManager],
         rng: random.Random,
+        params: SimulationParameters | None = None,
     ):
         self.env = env
         self.database = database
@@ -63,8 +64,17 @@ class QueryExecutor:
         self.disks = disks
         self.network = network
         self.buffers = buffers
-        self.params: SimulationParameters = database.params
+        # Scheduling knobs come from the *simulator's* parameters, not
+        # the database's: a cached SimulatedDatabase may be shared by
+        # run points that differ in node count, task limit or seed.
+        self.params = params if params is not None else database.params
         self.io = _IOAccumulator()
+        costs = self.params.cpu_costs
+        small = self.params.network.small_message_bytes
+        self._recv_cost = receive_instructions(costs, small)
+        self._finish_cost = (
+            costs.terminate_subquery + send_instructions(costs, small)
+        )
 
         self.coordinator_id = rng.randrange(len(nodes))
         self._coordinator = nodes[self.coordinator_id]
@@ -141,7 +151,6 @@ class QueryExecutor:
     # -- subquery ----------------------------------------------------------------
 
     def _subquery_body(self, node_id: int, work: SubqueryWork):
-        env = self.env
         params = self.params
         costs = params.cpu_costs
         small = params.network.small_message_bytes
@@ -150,10 +159,10 @@ class QueryExecutor:
 
         # Assignment message: wire delay, then receive cost on the node.
         yield self.network.transfer(small)
-        yield node.compute(receive_instructions(costs, small))
+        yield node.compute(self._recv_cost)
 
         # Step 4a: read and process the relevant bitmap fragments.
-        if work.bitmap_reads:
+        if work.bitmap_reads_rel:
             pages_processed = yield from self._bitmap_phase(work, buffer)
             if pages_processed:
                 yield node.compute(costs.process_bitmap_page * pages_processed)
@@ -162,11 +171,9 @@ class QueryExecutor:
         yield from self._fact_phase(work, node, buffer)
 
         # Return the partial aggregate to the coordinator.
-        yield node.compute(
-            costs.terminate_subquery + send_instructions(costs, small)
-        )
+        yield node.compute(self._finish_cost)
         yield self.network.transfer(small)
-        yield self._coordinator.compute(receive_instructions(costs, small))
+        yield self._coordinator.compute(self._recv_cost)
 
     def _bitmap_phase(self, work: SubqueryWork, buffer: BufferManager):
         """Read all bitmap fragments; parallel over disks if configured.
@@ -176,20 +183,21 @@ class QueryExecutor:
         """
         pending: list[Event] = []
         pages_processed = 0
-        for disk_id, extents in work.bitmap_reads:
-            to_read = []
-            for start, pages in extents:
-                pages_processed += pages
-                if buffer.bitmap.lookup(disk_id, start):
-                    continue
-                to_read.append((start, pages))
-                buffer.bitmap.insert(disk_id, start, pages)
+        access_extents = buffer.bitmap.access_extents
+        parallel = self.params.parallel_bitmap_io
+        disks = self.disks
+        io = self.io
+        for disk_id, base, extents, total_pages in work.bitmap_reads_rel:
+            pages_processed += total_pages
+            to_read, read_pages = access_extents(
+                disk_id, extents, base, total_pages
+            )
             if not to_read:
                 continue
-            self.io.bitmap_ops += len(to_read)
-            self.io.bitmap_pages += sum(pages for _, pages in to_read)
-            event = self.disks[disk_id].read_extents(to_read)
-            if self.params.parallel_bitmap_io:
+            io.bitmap_ops += len(to_read)
+            io.bitmap_pages += read_pages
+            event = disks[disk_id].read_validated(to_read, read_pages, base)
+            if parallel:
                 pending.append(event)
             else:
                 yield event
@@ -199,32 +207,29 @@ class QueryExecutor:
 
     def _fact_phase(self, work: SubqueryWork, node: ProcessingNode, buffer: BufferManager):
         costs = self.params.cpu_costs
-        coalesce = self.params.io_coalesce
         row_instructions = (
             costs.extract_table_row + costs.aggregate_table_row
         ) * work.relevant_rows
 
-        extents = work.fact_extents
-        if not extents:
+        batches = work.fact_batches
+        if not batches:
             if row_instructions:
                 yield node.compute(row_instructions)
             return
-        n_batches = -(-len(extents) // coalesce)
-        rows_per_batch = row_instructions / n_batches
-        disk = self.disks[work.fact_disk]
-        for batch_no in range(n_batches):
-            batch = extents[batch_no * coalesce : (batch_no + 1) * coalesce]
-            pages_in_batch = sum(pages for _, pages in batch)
-            to_read = []
-            for start, pages in batch:
-                if buffer.fact.lookup(work.fact_disk, start):
-                    continue
-                to_read.append((start, pages))
-                buffer.fact.insert(work.fact_disk, start, pages)
-            if to_read:
-                self.io.fact_ops += len(to_read)
-                self.io.fact_pages += sum(pages for _, pages in to_read)
-                yield disk.read_extents(to_read)
-            yield node.compute(
-                costs.read_page * pages_in_batch + rows_per_batch
+        rows_per_batch = row_instructions / len(batches)
+        fact_disk = work.fact_disk
+        base = work.fact_start
+        disk = self.disks[fact_disk]
+        access_extents = buffer.fact.access_extents
+        compute = node.compute
+        read_page = costs.read_page
+        io = self.io
+        for batch, pages_in_batch in batches:
+            to_read, read_pages = access_extents(
+                fact_disk, batch, base, pages_in_batch
             )
+            if to_read:
+                io.fact_ops += len(to_read)
+                io.fact_pages += read_pages
+                yield disk.read_validated(to_read, read_pages, base)
+            yield compute(read_page * pages_in_batch + rows_per_batch)

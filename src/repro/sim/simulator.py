@@ -27,6 +27,41 @@ from repro.sim.network import Network
 from repro.sim.scheduler import QueryExecutor
 
 
+#: SimulationParameters fields that shape the physical database (and
+#: therefore the SimulatedDatabase cache key), as opposed to scheduling
+#: knobs (node count, task limits, coalescing of the event loop).
+def _database_mismatches(
+    database: SimulatedDatabase,
+    schema: StarSchema,
+    fragmentation: Fragmentation,
+    params: SimulationParameters,
+) -> list[str]:
+    """Field names on which a shared database disagrees with ``params``."""
+    mismatches = []
+    if database.schema is not schema:
+        mismatches.append("schema")
+    if database.fragmentation != fragmentation:
+        mismatches.append("fragmentation")
+    db_params = database.params
+    if db_params.hardware.n_disks != params.hardware.n_disks:
+        mismatches.append("n_disks")
+    if db_params.staggered_allocation != params.staggered_allocation:
+        mismatches.append("staggered_allocation")
+    if db_params.allocation_scheme != params.allocation_scheme:
+        mismatches.append("allocation_scheme")
+    if db_params.cluster_factor != params.cluster_factor:
+        mismatches.append("cluster_factor")
+    if db_params.data_skew != params.data_skew:
+        mismatches.append("data_skew")
+    if db_params.data_skew > 0 and db_params.seed != params.seed:
+        mismatches.append("seed (skew permutation)")
+    if db_params.buffer != params.buffer:
+        mismatches.append("buffer")
+    if db_params.io_coalesce != params.io_coalesce:
+        mismatches.append("io_coalesce")
+    return mismatches
+
+
 class ParallelWarehouseSimulator:
     """A simulated Shared Disk parallel data warehouse.
 
@@ -46,15 +81,29 @@ class ParallelWarehouseSimulator:
         fragmentation: Fragmentation,
         params: SimulationParameters | None = None,
         catalog: IndexCatalog | None = None,
+        database: SimulatedDatabase | None = None,
     ):
         self.params = params if params is not None else SimulationParameters()
-        self.database = SimulatedDatabase(
-            schema=schema,
-            fragmentation=fragmentation,
-            params=self.params,
-            catalog=catalog,
-            staggered=self.params.staggered_allocation,
-        )
+        if database is not None:
+            # A prebuilt (possibly shared) database: run points of one
+            # scenario that agree on the physical layout reuse it and
+            # differ only in scheduling parameters.  Guard the fields
+            # that shape the physical database.
+            mismatches = _database_mismatches(database, schema, fragmentation, self.params)
+            if mismatches:
+                raise ValueError(
+                    "shared database incompatible with run parameters: "
+                    + ", ".join(mismatches)
+                )
+            self.database = database
+        else:
+            self.database = SimulatedDatabase(
+                schema=schema,
+                fragmentation=fragmentation,
+                params=self.params,
+                catalog=catalog,
+                staggered=self.params.staggered_allocation,
+            )
 
     def run(self, queries: Sequence[StarQuery]) -> SimulationResult:
         """Execute a query stream in single-user mode."""
@@ -72,6 +121,14 @@ class ParallelWarehouseSimulator:
         ]
         network = Network(env, params.network)
         buffers = [BufferManager(params.buffer) for _ in nodes]
+        if len(queries) == 1:
+            # One star query never touches the same extent twice (each
+            # fragment is visited once, its extents are disjoint), so
+            # the fresh pools can skip residency tracking: statistics
+            # stay exact, no hit is possible.  Multi-query streams keep
+            # full LRU behaviour.
+            for manager in buffers:
+                manager.assume_distinct_accesses()
         rng = random.Random(params.seed)
 
         result = SimulationResult()
@@ -86,6 +143,7 @@ class ParallelWarehouseSimulator:
                 network=network,
                 buffers=buffers,
                 rng=rng,
+                params=params,
             )
             start = env.now
             process = env.process(executor.body())
@@ -161,6 +219,7 @@ class ParallelWarehouseSimulator:
                     network=network,
                     buffers=buffers,
                     rng=rng,
+                    params=params,
                 )
                 start = env.now
                 process = env.process(executor.body())
