@@ -1,0 +1,161 @@
+"""Open-system workload studies (arrival processes, admission control).
+
+The paper's Section 7 defers multi-user mode; these benchmarks trace
+the open-system curves the closed-stream modes cannot produce:
+
+* **Load sweep**: completed throughput tracks the offered load up to
+  ~1.4 queries/s, then saturates while response times blow up — the
+  knee of the curve.
+* **MPL ablation**: under overload, p95 total delay is U-shaped over
+  the admission-control MPL cap (starvation at MPL 1, uncontrolled
+  contention with no cap).
+* **Burstiness**: at identical offered load, tail delays order
+  fixed < poisson < bursty.
+* **Think times**: the closed/open hybrid trades throughput for
+  per-query response time.
+
+Each study's matrix is a registered ``open_*`` scenario.
+"""
+
+import pytest
+
+from conftest import print_table
+from _simruns import scenario_results
+
+SCENARIOS = [
+    "open_load_sweep",
+    "open_mpl_ablation",
+    "open_burstiness",
+    "open_think_time",
+]
+
+
+def test_open_load_sweep(benchmark):
+    """Throughput saturation and the response-time knee."""
+
+    def sweep():
+        return {
+            result.config["arrival_rate_qps"]: (
+                result.metrics["throughput_qps"],
+                result.metrics["avg_response_time_s"],
+                result.metrics["p95_total_delay_s"],
+            )
+            for result in scenario_results("open_load_sweep").values()
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [rate, f"{thr:.3f}", f"{resp:.2f}", f"{p95:.2f}"]
+        for rate, (thr, resp, p95) in sorted(results.items())
+    ]
+    print_table(
+        "Open system: offered load sweep (1MONTH1GROUP, d=100, p=20)",
+        ["offered [qps]", "completed [qps]", "avg resp [s]", "p95 total [s]"],
+        rows,
+        filename="open_load_sweep.txt",
+    )
+    rates = sorted(results)
+    lo, hi = rates[0], rates[-1]
+    # Below the knee the system keeps up; past it throughput saturates
+    # far below the offered load while delays explode.
+    assert results[lo][0] == pytest.approx(lo, rel=0.35)
+    assert results[hi][0] < hi / 2
+    assert results[hi][2] > 3 * results[lo][2]
+
+
+def test_open_mpl_ablation(benchmark):
+    """Admission control under overload: the MPL sweet spot."""
+
+    def sweep():
+        return {
+            result.config["max_mpl"]: (
+                result.metrics["throughput_qps"],
+                result.metrics["avg_queue_delay_s"],
+                result.metrics["p95_total_delay_s"],
+                result.metrics["peak_mpl"],
+            )
+            for result in scenario_results("open_mpl_ablation").values()
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [str(mpl), f"{thr:.3f}", f"{qd:.2f}", f"{p95:.2f}", peak]
+        for mpl, (thr, qd, p95, peak) in sorted(
+            results.items(), key=lambda item: (item[0] is None, item[0])
+        )
+    ]
+    print_table(
+        "Open system: MPL admission cap under overload (2 qps offered)",
+        ["MPL cap", "throughput [qps]", "avg queue [s]", "p95 total [s]",
+         "peak MPL"],
+        rows,
+        filename="open_mpl_ablation.txt",
+    )
+    capped = {mpl: vals for mpl, vals in results.items() if mpl is not None}
+    tightest = min(capped)
+    # A tight cap starves throughput but every admitted query runs fast;
+    # no cap maximises throughput at the cost of in-system contention.
+    assert capped[tightest][0] < results[None][0]
+    assert capped[tightest][1] > results[None][1]  # queueing moves outside
+    for mpl, (_thr, _qd, _p95, peak) in capped.items():
+        assert peak <= mpl
+
+
+def test_open_burstiness(benchmark):
+    """Equal offered load, very different tails."""
+
+    def sweep():
+        return {
+            result.run_id: (
+                result.metrics["p95_total_delay_s"],
+                result.metrics["avg_response_time_s"],
+                result.metrics["peak_mpl"],
+            )
+            for result in scenario_results("open_burstiness").values()
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [run_id, f"{p95:.2f}", f"{resp:.2f}", peak]
+        for run_id, (p95, resp, peak) in sorted(results.items())
+    ]
+    print_table(
+        "Open system: arrival burstiness at 1 qps offered load",
+        ["process", "p95 total [s]", "avg resp [s]", "peak MPL"],
+        rows,
+        filename="open_burstiness.txt",
+    )
+    if "poisson" in results:  # full sweep only
+        assert results["fixed"][0] < results["poisson"][0]
+        assert results["poisson"][0] < results["bursty12"][0]
+    assert results["fixed"][0] < results["bursty12"][0]
+
+
+def test_open_think_time(benchmark):
+    """Closed/open hybrid: think times thin out the effective load."""
+
+    def sweep():
+        return {
+            result.config["think_time_s"]: (
+                result.metrics["throughput_qps"],
+                result.metrics["avg_response_time_s"],
+                result.metrics["elapsed_s"],
+            )
+            for result in scenario_results("open_think_time").values()
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [think, f"{thr:.3f}", f"{resp:.2f}", f"{elapsed:.1f}"]
+        for think, (thr, resp, elapsed) in sorted(results.items())
+    ]
+    print_table(
+        "Open system: think times (8 sessions x 3 queries, MPL 4)",
+        ["think [s]", "throughput [qps]", "avg resp [s]", "elapsed [s]"],
+        rows,
+        filename="open_think_time.txt",
+    )
+    thinks = sorted(results)
+    lo, hi = thinks[0], thinks[-1]
+    assert results[hi][0] < results[lo][0]  # throughput drops
+    assert results[hi][2] > results[lo][2]  # the run stretches out

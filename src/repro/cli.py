@@ -221,15 +221,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_ids=run_ids,
     )
     report = runner.run()
-    write_report(report, out)
+    write_report(report, out, stable=args.stable)
     print(f"scenario: {scenario.name} ({scenario.title})")
     for result in report.runs:
         response = result.metrics.get(
             "response_time_s", result.metrics.get("avg_response_time_s")
         )
         shown = f"{response:.3f} s" if response is not None else "-"
+        queue_delay = result.metrics.get("avg_queue_delay_s")
+        queued = (
+            f"  queue {queue_delay:.3f} s" if queue_delay is not None else ""
+        )
         print(
-            f"  {result.run_id:<24} {shown:>12}  "
+            f"  {result.run_id:<24} {shown:>12}{queued}  "
             f"[{result.wall_clock_s:.2f}s wall]"
         )
     print(f"fingerprint: {report.metrics_fingerprint()}")
@@ -344,6 +348,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--runs", default=None,
         help="comma-separated run_ids: execute only this subset of the "
              "(possibly fast-reduced) matrix",
+    )
+    bench.add_argument(
+        "--stable", action="store_true",
+        help="zero host wall-clock fields in the written report so two "
+             "same-seed runs are byte-identical",
     )
     bench.add_argument(
         "--check", default=None, metavar="GOLDEN_JSON",

@@ -10,11 +10,14 @@ in this module makes it runnable everywhere at once.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.scenarios.spec import (
     KIND_ANALYTIC,
     KIND_STATIC,
     MODE_ANALYTIC,
     MODE_MULTI_USER,
+    MODE_OPEN_SYSTEM,
     RunSpec,
     ScenarioSpec,
     grid,
@@ -479,6 +482,162 @@ register(
         fast_run_ids=("degrade1.0", "degrade2.0"),
     )
 )
+
+# ---------------------------------------------------------------------
+# Open-system workloads (Section 7 future work: arrival processes,
+# think times, admission control)
+# ---------------------------------------------------------------------
+
+#: Shared base for the apb1 open-system studies: 24 single-query
+#: sessions of the CPU-bound 1MONTH1GROUP on the reference
+#: fragmentation; measured single-query service time ~1.8 s, system
+#: capacity ~1.4 queries/s, so the knee sits between 1 and 2 qps.
+_OPEN_BASE = RunSpec(
+    run_id="",
+    query="1MONTH1GROUP",
+    fragmentation=F_MONTH_GROUP,
+    mode=MODE_OPEN_SYSTEM,
+    n_disks=100,
+    n_nodes=20,
+    t=4,
+    streams=24,
+    queries_per_stream=1,
+)
+
+register(
+    ScenarioSpec(
+        name="open_load_sweep",
+        title="Open system: throughput and delay vs offered load",
+        description=(
+            "Poisson arrivals swept across the saturation knee at fixed "
+            "fragmentation: completed throughput tracks the offered "
+            "load until ~1.4 qps, then response times blow up (the "
+            "knee-of-the-curve view closed streams cannot produce)."
+        ),
+        runs=tuple(
+            grid(
+                _OPEN_BASE,
+                {"arrival_rate_qps": [0.25, 0.5, 1.0, 1.5, 2.0, 4.0, 8.0]},
+                "rate{arrival_rate_qps}",
+            )
+        ),
+        fast_run_ids=("rate0.5", "rate2.0", "rate8.0"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="open_mpl_ablation",
+        title="Open system: admission-control MPL cap under overload",
+        description=(
+            "Offered load just past the knee (2 qps): a tight MPL cap "
+            "starves throughput, no cap trades queueing delay for "
+            "in-system contention; p95 total delay is U-shaped with the "
+            "optimum near MPL 4."
+        ),
+        runs=tuple(
+            grid(
+                replace(_OPEN_BASE, arrival_rate_qps=2.0),
+                {"max_mpl": [1, 2, 4, 8, None]},
+                "mpl{max_mpl}",
+            )
+        ),
+        fast_run_ids=("mpl1", "mpl4", "mplNone"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="open_burstiness",
+        title="Open system: arrival burstiness at equal offered load",
+        description=(
+            "Fixed-rate vs Poisson vs batch-Poisson arrivals, all at "
+            "1 qps: the offered load is identical but short-term "
+            "congestion is not, so tail delays order fixed < poisson "
+            "< bursty."
+        ),
+        runs=(
+            replace(_OPEN_BASE, run_id="fixed", arrival_process="fixed",
+                    arrival_rate_qps=1.0),
+            replace(_OPEN_BASE, run_id="poisson", arrival_process="poisson",
+                    arrival_rate_qps=1.0),
+            replace(_OPEN_BASE, run_id="bursty4", arrival_process="bursty",
+                    arrival_rate_qps=1.0, burst_size=4),
+            replace(_OPEN_BASE, run_id="bursty12", arrival_process="bursty",
+                    arrival_rate_qps=1.0, burst_size=12),
+        ),
+        fast_run_ids=("fixed", "bursty12"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="open_think_time",
+        title="Open system: closed/open hybrid with think times",
+        description=(
+            "8 sessions of 3 queries each behind an MPL-4 admission "
+            "controller: longer think times thin out the effective "
+            "load, trading throughput for per-query response time."
+        ),
+        runs=tuple(
+            grid(
+                replace(_OPEN_BASE, streams=8, queries_per_stream=3,
+                        arrival_rate_qps=1.0, max_mpl=4),
+                {"think_time_s": [0.0, 2.0, 8.0]},
+                "think{think_time_s}",
+            )
+        ),
+        fast_run_ids=("think0.0", "think8.0"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="smoke_open_tiny",
+        title="CI smoke: tiny open-system matrix (arrivals + admission)",
+        description=(
+            "Two sub-second open-system runs on the tiny schema — an "
+            "uncapped Poisson stream and an MPL-capped bursty stream — "
+            "exercising arrivals, admission queueing and think times "
+            "end to end for the perf-smoke golden check."
+        ),
+        runs=(
+            RunSpec(
+                run_id="poisson_uncapped",
+                query="1MONTH",
+                fragmentation=F_MONTH_GROUP,
+                mode=MODE_OPEN_SYSTEM,
+                schema="tiny",
+                n_disks=10,
+                n_nodes=2,
+                t=2,
+                streams=6,
+                queries_per_stream=2,
+                arrival_process="poisson",
+                arrival_rate_qps=20.0,
+                think_time_s=0.05,
+            ),
+            RunSpec(
+                run_id="bursty_mpl2",
+                query="1MONTH",
+                fragmentation=F_MONTH_GROUP,
+                mode=MODE_OPEN_SYSTEM,
+                schema="tiny",
+                n_disks=10,
+                n_nodes=2,
+                t=2,
+                streams=8,
+                queries_per_stream=1,
+                arrival_process="bursty",
+                arrival_rate_qps=40.0,
+                burst_size=4,
+                max_mpl=2,
+            ),
+        ),
+        fast_run_ids=("poisson_uncapped",),
+    )
+)
+
 
 register(
     ScenarioSpec(

@@ -23,6 +23,7 @@ from repro.scenarios.spec import (
     KIND_STATIC,
     MODE_ANALYTIC,
     MODE_MULTI_USER,
+    MODE_OPEN_SYSTEM,
     MODE_SIM,
     RunSpec,
     ScenarioSpec,
@@ -143,19 +144,12 @@ def _sim_metrics(run: RunSpec) -> dict:
     }
 
 
-def _multi_user_metrics(run: RunSpec) -> dict:
-    from repro.sim.simulator import ParallelWarehouseSimulator
+def _session_streams(run: RunSpec, schema) -> list[list]:
+    """The per-stream query lists for multi-user and open-system runs."""
     from repro.workload.queries import query_type
 
-    schema = _schema_for(run)
-    simulator = ParallelWarehouseSimulator(
-        schema,
-        run.parsed_fragmentation(),
-        run.sim_params(),
-        database=_database_for(run, schema),
-    )
     template = query_type(run.query)
-    streams = [
+    return [
         [
             template.instantiate(
                 schema,
@@ -167,14 +161,73 @@ def _multi_user_metrics(run: RunSpec) -> dict:
         ]
         for s in range(run.streams)
     ]
-    result = simulator.run_multi_user(streams)
+
+
+def _multi_user_metrics(run: RunSpec) -> dict:
+    from repro.sim.simulator import ParallelWarehouseSimulator
+
+    schema = _schema_for(run)
+    simulator = ParallelWarehouseSimulator(
+        schema,
+        run.parsed_fragmentation(),
+        run.sim_params(),
+        database=_database_for(run, schema),
+    )
+    result = simulator.run_multi_user(_session_streams(run, schema))
     return {
         "streams": run.streams,
         "query_count": result.query_count,
-        "avg_response_time_s": result.avg_response_time,
-        "max_response_time_s": result.max_response_time,
-        "elapsed_s": result.elapsed,
+        "avg_response_time_s": _round6(result.avg_response_time),
+        "max_response_time_s": _round6(result.max_response_time),
+        "elapsed_s": _round6(result.elapsed),
         "throughput_qps": _round6(result.query_count / result.elapsed),
+        "total_pages": result.total_pages,
+        "avg_disk_utilization": _round6(result.avg_disk_utilization),
+        "avg_cpu_utilization": _round6(result.avg_cpu_utilization),
+        "event_count": result.event_count,
+    }
+
+
+def _open_system_metrics(run: RunSpec) -> dict:
+    from repro.sim.simulator import ParallelWarehouseSimulator
+
+    schema = _schema_for(run)
+    simulator = ParallelWarehouseSimulator(
+        schema,
+        run.parsed_fragmentation(),
+        run.sim_params(),
+        database=_database_for(run, schema),
+    )
+    result = simulator.run_open_system(
+        _session_streams(run, schema), run.workload_params()
+    )
+    return {
+        "sessions": run.streams,
+        "query_count": result.query_count,
+        "session_arrival_rate_qps": run.arrival_rate_qps,
+        # Offered *query* load: sessions arrive at arrival_rate_qps and
+        # each issues queries_per_stream queries (think times permitting).
+        "offered_load_qps": _round6(
+            run.arrival_rate_qps * run.queries_per_stream
+        ),
+        "throughput_qps": _round6(result.throughput_qps),
+        "avg_response_time_s": _round6(result.avg_response_time),
+        "p50_response_time_s": _round6(result.response_time_percentile(50)),
+        "p95_response_time_s": _round6(result.response_time_percentile(95)),
+        "max_response_time_s": _round6(result.max_response_time),
+        "avg_queue_delay_s": _round6(result.avg_queue_delay),
+        "p95_queue_delay_s": _round6(result.queue_delay_percentile(95)),
+        "max_queue_delay_s": _round6(result.max_queue_delay),
+        "avg_total_delay_s": _round6(result.avg_total_delay),
+        "p95_total_delay_s": _round6(result.total_delay_percentile(95)),
+        "per_stream_avg_response_s": {
+            str(stream): _round6(stats.avg_response_time)
+            for stream, stats in result.per_stream().items()
+        },
+        "peak_mpl": result.peak_mpl,
+        "peak_queue_length": result.peak_queue_length,
+        "queued_arrivals": result.queued_arrivals,
+        "elapsed_s": _round6(result.elapsed),
         "total_pages": result.total_pages,
         "avg_disk_utilization": _round6(result.avg_disk_utilization),
         "avg_cpu_utilization": _round6(result.avg_cpu_utilization),
@@ -203,6 +256,7 @@ def _analytic_metrics(run: RunSpec) -> dict:
 _MODE_EXECUTORS = {
     MODE_SIM: _sim_metrics,
     MODE_MULTI_USER: _multi_user_metrics,
+    MODE_OPEN_SYSTEM: _open_system_metrics,
     MODE_ANALYTIC: _analytic_metrics,
 }
 
@@ -338,7 +392,17 @@ class BenchReport:
         canonical = json.dumps(self.metrics_projection(), sort_keys=True)
         return hashlib.sha256(canonical.encode()).hexdigest()
 
-    def to_json_dict(self) -> dict:
+    def to_json_dict(self, stable: bool = False) -> dict:
+        """JSON-ready report; ``stable=True`` zeroes every host
+        wall-clock field (and drops the derived wall-clock block) so two
+        same-seed runs serialise byte-identically."""
+        derived = self.derived
+        if stable and "wall_clock" in derived:
+            derived = {
+                key: value
+                for key, value in derived.items()
+                if key != "wall_clock"
+            }
         return {
             "bench_schema_version": BENCH_SCHEMA_VERSION,
             "scenario": self.scenario,
@@ -352,16 +416,19 @@ class BenchReport:
                     "config": result.config,
                     "config_hash": result.config_hash,
                     "metrics": result.metrics,
-                    "wall_clock_s": round(result.wall_clock_s, 3),
+                    "wall_clock_s": 0.0 if stable else round(result.wall_clock_s, 3),
                 }
                 for result in self.runs
             ],
-            "derived": self.derived,
-            "wall_clock_s": round(self.wall_clock_s, 3),
+            "derived": derived,
+            "wall_clock_s": 0.0 if stable else round(self.wall_clock_s, 3),
         }
 
-    def to_json(self) -> str:
-        return json.dumps(self.to_json_dict(), indent=2, sort_keys=True) + "\n"
+    def to_json(self, stable: bool = False) -> str:
+        return (
+            json.dumps(self.to_json_dict(stable), indent=2, sort_keys=True)
+            + "\n"
+        )
 
 
 def _derived_metrics(runs: list[RunResult]) -> dict:
@@ -377,6 +444,18 @@ def _derived_metrics(runs: list[RunResult]) -> dict:
             "total_s": round(sum(r.wall_clock_s for r in runs), 3),
             "max_run_s": round(max(r.wall_clock_s for r in runs), 3),
             "slowest_run": max(runs, key=lambda r: r.wall_clock_s).run_id,
+        }
+    open_runs = [r for r in runs if "offered_load_qps" in r.metrics]
+    if open_runs:
+        # Throughput-vs-offered-load curve: the saturation/knee view the
+        # open-system scenarios exist for.
+        derived["load_curve"] = {
+            r.run_id: {
+                "offered_qps": r.metrics["offered_load_qps"],
+                "completed_qps": r.metrics["throughput_qps"],
+                "p95_total_delay_s": r.metrics["p95_total_delay_s"],
+            }
+            for r in open_runs
         }
     timed = {
         r.run_id: r.metrics["response_time_s"]
@@ -511,9 +590,9 @@ def compare_to_golden(report: BenchReport, golden: dict) -> list[str]:
     return problems
 
 
-def write_report(report: BenchReport, path: str) -> None:
+def write_report(report: BenchReport, path: str, stable: bool = False) -> None:
     with open(path, "w") as handle:
-        handle.write(report.to_json())
+        handle.write(report.to_json(stable))
 
 
 def validate_report(data: dict) -> None:

@@ -18,7 +18,7 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Iterable
 
 from repro.mdhf.spec import Fragmentation
-from repro.sim.config import SimulationParameters
+from repro.sim.config import SimulationParameters, WorkloadParameters
 
 #: Kinds of scenarios.
 KIND_SIMULATION = "simulation"  # RunSpecs executed on the event simulator
@@ -28,11 +28,21 @@ KIND_STATIC = "static"          # no runs; a registered static evaluator
 #: Run execution modes.
 MODE_SIM = "sim"
 MODE_MULTI_USER = "multi_user"
+MODE_OPEN_SYSTEM = "open_system"
 MODE_ANALYTIC = "analytic"
 
 #: Event-count control used by the sweeps; <0.5% response-time effect
 #: (validated in tests/sim/test_simulator.py).
 DEFAULT_IO_COALESCE = 8
+
+#: RunSpec fields that only exist for MODE_OPEN_SYSTEM.  They entered
+#: the schema after the first goldens were committed, so config_dict()
+#: includes them only for open-system runs — every pre-existing run
+#: point keeps its original config_hash (and the committed BENCH
+#: fingerprints stay valid).  The field names and defaults mirror
+#: WorkloadParameters exactly (RunSpec declares the same defaults).
+_OPEN_SYSTEM_DEFAULTS = asdict(WorkloadParameters())
+_OPEN_SYSTEM_FIELDS = tuple(_OPEN_SYSTEM_DEFAULTS)
 
 
 @dataclass(frozen=True)
@@ -74,30 +84,66 @@ class RunSpec:
     #: subsystem running at half speed (failed spindles, rebuilds).
     disk_degradation: float = 1.0
 
-    # --- multi-user mode ---------------------------------------------
+    # --- multi-user / open-system sessions ---------------------------
     streams: int = 1
     queries_per_stream: int = 1
     #: Seed stride between streams so the streams draw distinct query
     #: parameters (seed + stride * stream + query).
     stream_seed_stride: int = 17
 
+    # --- open-system mode (MODE_OPEN_SYSTEM only) --------------------
+    #: Interarrival distribution: "poisson" | "fixed" | "bursty".
+    arrival_process: str = "poisson"
+    #: Offered load in arriving sessions per second.
+    arrival_rate_qps: float = 1.0
+    #: Arrivals per batch for the bursty process.
+    burst_size: int = 4
+    #: Admission-control MPL cap; None = admit everything immediately.
+    max_mpl: int | None = None
+    #: Mean exponential think time between a session's queries (hybrid).
+    think_time_s: float = 0.0
+
     seed: int = 0
 
     def __post_init__(self) -> None:
-        if self.mode not in (MODE_SIM, MODE_MULTI_USER, MODE_ANALYTIC):
+        if self.mode not in (
+            MODE_SIM, MODE_MULTI_USER, MODE_OPEN_SYSTEM, MODE_ANALYTIC
+        ):
             raise ValueError(f"unknown run mode {self.mode!r}")
         if self.schema not in ("apb1", "tiny"):
             raise ValueError(f"unknown schema {self.schema!r}")
-        if self.mode == MODE_MULTI_USER and self.streams < 1:
-            raise ValueError("multi_user runs need streams >= 1")
+        if self.mode in (MODE_MULTI_USER, MODE_OPEN_SYSTEM) and self.streams < 1:
+            raise ValueError(f"{self.mode} runs need streams >= 1")
         if self.disk_degradation < 1.0:
             raise ValueError("disk_degradation must be >= 1.0")
         if not self.fragmentation:
             raise ValueError("fragmentation must name at least one attribute")
+        if self.mode != MODE_OPEN_SYSTEM:
+            # The open-system knobs stay out of config_dict() for other
+            # modes (hash stability), so they must hold their defaults
+            # there — a non-default value would silently not hash.
+            for name in _OPEN_SYSTEM_FIELDS:
+                if getattr(self, name) != _OPEN_SYSTEM_DEFAULTS[name]:
+                    raise ValueError(
+                        f"{name} requires mode={MODE_OPEN_SYSTEM!r}"
+                    )
+        else:
+            # Constructing the WorkloadParameters validates every knob.
+            self.workload_params()
 
     # -----------------------------------------------------------------
     def parsed_fragmentation(self) -> Fragmentation:
         return Fragmentation.parse(*self.fragmentation)
+
+    def workload_params(self) -> WorkloadParameters:
+        """The open-system workload shape this run point describes."""
+        return WorkloadParameters(
+            arrival_process=self.arrival_process,
+            arrival_rate_qps=self.arrival_rate_qps,
+            burst_size=self.burst_size,
+            max_mpl=self.max_mpl,
+            think_time_s=self.think_time_s,
+        )
 
     def sim_params(self) -> SimulationParameters:
         """The simulator configuration this run point describes."""
@@ -117,6 +163,8 @@ class RunSpec:
             io_coalesce=self.io_coalesce,
             seed=self.seed,
         )
+        if self.mode == MODE_OPEN_SYSTEM:
+            params = replace(params, workload=self.workload_params())
         if self.disk_degradation != 1.0:
             d = params.disk
             params = replace(
@@ -133,9 +181,17 @@ class RunSpec:
         return params
 
     def config_dict(self) -> dict:
-        """JSON-ready canonical description of this run point."""
+        """JSON-ready canonical description of this run point.
+
+        Open-system knobs appear only for open-system runs (they are
+        rejected at non-default values elsewhere), so pre-existing run
+        points hash exactly as before the knobs were introduced.
+        """
         config = asdict(self)
         config["fragmentation"] = list(self.fragmentation)
+        if self.mode != MODE_OPEN_SYSTEM:
+            for name in _OPEN_SYSTEM_FIELDS:
+                del config[name]
         return config
 
     def config_hash(self) -> str:

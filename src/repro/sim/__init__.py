@@ -13,23 +13,39 @@ rebuilds the parts the paper describes and parameterises (Table 4):
 * an LRU buffer manager with prefetch and separate pools for tables and
   indices (:mod:`repro.sim.buffer`),
 * the coordinator/subquery scheduling of Section 5 with at most ``t``
-  concurrent tasks per node (:mod:`repro.sim.scheduler`), and
+  concurrent tasks per node (:mod:`repro.sim.scheduler`),
+* MPL-capped FIFO admission control for open-system workloads
+  (:mod:`repro.sim.admission`), and
 * the top-level :class:`ParallelWarehouseSimulator` tying the star
   schema, fragmentation, allocation and workload together.
 """
 
-from repro.sim.config import HardwareParameters, SimulationParameters
+from repro.sim.admission import AdmissionController
+from repro.sim.config import (
+    HardwareParameters,
+    SimulationParameters,
+    WorkloadParameters,
+)
 from repro.sim.engine import AllOf, Environment, Event
-from repro.sim.metrics import QueryMetrics, SimulationResult
+from repro.sim.metrics import (
+    QueryMetrics,
+    SimulationResult,
+    StreamStats,
+    percentile,
+)
 from repro.sim.simulator import ParallelWarehouseSimulator
 
 __all__ = [
+    "AdmissionController",
     "Environment",
     "Event",
     "AllOf",
     "HardwareParameters",
     "SimulationParameters",
+    "WorkloadParameters",
     "QueryMetrics",
     "SimulationResult",
+    "StreamStats",
+    "percentile",
     "ParallelWarehouseSimulator",
 ]

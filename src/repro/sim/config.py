@@ -79,6 +79,39 @@ class HardwareParameters:
 
 
 @dataclass(frozen=True)
+class WorkloadParameters:
+    """Open-system workload shape (beyond the paper's single-user mode).
+
+    Section 7 defers multi-user mode to future work; these knobs define
+    the arrival side of it.  ``arrival_process`` names one of the
+    distributions in :mod:`repro.workload.arrivals`; ``max_mpl`` caps
+    concurrent admissions (``None`` = no admission control);
+    ``think_time_s`` is the mean exponential pause between consecutive
+    queries of one session (closed/open hybrid mode; 0 = pure open).
+    """
+
+    arrival_process: str = "poisson"  # "poisson" | "fixed" | "bursty"
+    arrival_rate_qps: float = 1.0
+    burst_size: int = 4
+    max_mpl: int | None = None
+    think_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.arrival_process not in ("poisson", "fixed", "bursty"):
+            raise ValueError(
+                f"unknown arrival_process {self.arrival_process!r}"
+            )
+        if self.arrival_rate_qps <= 0:
+            raise ValueError("arrival_rate_qps must be positive")
+        if self.burst_size < 1:
+            raise ValueError("burst_size must be >= 1")
+        if self.max_mpl is not None and self.max_mpl < 1:
+            raise ValueError("max_mpl must be >= 1 (or None)")
+        if self.think_time_s < 0:
+            raise ValueError("think_time_s must be non-negative")
+
+
+@dataclass(frozen=True)
 class SimulationParameters:
     """Everything a simulation run needs besides schema and workload."""
 
@@ -87,6 +120,9 @@ class SimulationParameters:
     cpu_costs: CpuCosts = field(default_factory=CpuCosts)
     network: NetworkParameters = field(default_factory=NetworkParameters)
     buffer: BufferParameters = field(default_factory=BufferParameters)
+    #: Open-system workload shape; only consulted by
+    #: :meth:`ParallelWarehouseSimulator.run_open_system`.
+    workload: WorkloadParameters = field(default_factory=WorkloadParameters)
 
     #: Subqueries read bitmap fragments of one fact fragment in parallel
     #: (Section 6.2's default); False serialises them for the ablation.

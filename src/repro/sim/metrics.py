@@ -1,9 +1,38 @@
-"""Metrics collected by simulation runs."""
+"""Metrics collected by simulation runs.
+
+Closed-stream runs (single-user, multi-user) populate the response-time
+and I/O counters; open-system runs additionally record *when* each query
+arrived and was admitted, so queueing delay (arrival -> admission) is
+separated from service time (admission -> completion).  Aggregates that
+need at least one query raise a uniform ``ValueError("no queries were
+executed")`` instead of leaking opaque builtin errors.
+"""
 
 from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
+
+
+def percentile(values: list[float], p: float) -> float:
+    """Linear-interpolated percentile of ``values`` (``p`` in 0..100).
+
+    Deterministic and dependency-free (numpy's default 'linear' method):
+    the rank ``p/100 * (n-1)`` is interpolated between the two nearest
+    order statistics.
+    """
+    if not values:
+        raise ValueError("no values to take a percentile of")
+    if not 0 <= p <= 100:
+        raise ValueError("percentile must be between 0 and 100")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
 
 
 @dataclass(frozen=True)
@@ -18,10 +47,32 @@ class QueryMetrics:
     bitmap_io_ops: int
     bitmap_pages: int
     coordinator_node: int
+    #: Session/stream the query belongs to (0 for single-user runs).
+    stream: int = 0
+    #: Open-system accounting; all zero for closed-stream runs, where
+    #: queries start executing the moment they are issued.
+    arrived_at: float = 0.0
+    admitted_at: float = 0.0
+    queue_delay: float = 0.0
 
     @property
     def total_pages(self) -> int:
         return self.fact_pages + self.bitmap_pages
+
+    @property
+    def total_delay(self) -> float:
+        """Sojourn time: queueing delay plus service (response) time."""
+        return self.queue_delay + self.response_time
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """Per-stream (per-session) aggregate of an open/multi-user run."""
+
+    stream: int
+    query_count: int
+    avg_response_time: float
+    avg_queue_delay: float
 
 
 @dataclass
@@ -36,6 +87,14 @@ class SimulationResult:
     buffer_hits: int = 0
     buffer_misses: int = 0
     event_count: int = 0
+    #: Open-system admission statistics (zero for closed-stream runs).
+    peak_mpl: int = 0
+    peak_queue_length: int = 0
+    queued_arrivals: int = 0
+
+    def _require_queries(self) -> None:
+        if not self.queries:
+            raise ValueError("no queries were executed")
 
     @property
     def query_count(self) -> int:
@@ -43,13 +102,68 @@ class SimulationResult:
 
     @property
     def avg_response_time(self) -> float:
-        if not self.queries:
-            raise ValueError("no queries were executed")
+        self._require_queries()
         return statistics.fmean(q.response_time for q in self.queries)
 
     @property
     def max_response_time(self) -> float:
+        self._require_queries()
         return max(q.response_time for q in self.queries)
+
+    @property
+    def avg_queue_delay(self) -> float:
+        self._require_queries()
+        return statistics.fmean(q.queue_delay for q in self.queries)
+
+    @property
+    def max_queue_delay(self) -> float:
+        self._require_queries()
+        return max(q.queue_delay for q in self.queries)
+
+    @property
+    def avg_total_delay(self) -> float:
+        self._require_queries()
+        return statistics.fmean(q.total_delay for q in self.queries)
+
+    def response_time_percentile(self, p: float) -> float:
+        self._require_queries()
+        return percentile([q.response_time for q in self.queries], p)
+
+    def queue_delay_percentile(self, p: float) -> float:
+        self._require_queries()
+        return percentile([q.queue_delay for q in self.queries], p)
+
+    def total_delay_percentile(self, p: float) -> float:
+        self._require_queries()
+        return percentile([q.total_delay for q in self.queries], p)
+
+    def per_stream(self) -> dict[int, StreamStats]:
+        """Per-stream aggregates, keyed by stream id (sorted)."""
+        self._require_queries()
+        grouped: dict[int, list[QueryMetrics]] = {}
+        for query in self.queries:
+            grouped.setdefault(query.stream, []).append(query)
+        return {
+            stream: StreamStats(
+                stream=stream,
+                query_count=len(members),
+                avg_response_time=statistics.fmean(
+                    q.response_time for q in members
+                ),
+                avg_queue_delay=statistics.fmean(
+                    q.queue_delay for q in members
+                ),
+            )
+            for stream, members in sorted(grouped.items())
+        }
+
+    @property
+    def throughput_qps(self) -> float:
+        """Completed queries per simulated second."""
+        self._require_queries()
+        if self.elapsed <= 0:
+            raise ValueError("no simulated time elapsed")
+        return len(self.queries) / self.elapsed
 
     @property
     def avg_disk_utilization(self) -> float:
@@ -69,4 +183,6 @@ class SimulationResult:
 
     def speedup_against(self, baseline: "SimulationResult") -> float:
         """Baseline average response time divided by this run's."""
+        self._require_queries()
+        baseline._require_queries()
         return baseline.avg_response_time / self.avg_response_time

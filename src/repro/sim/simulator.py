@@ -16,8 +16,9 @@ from repro.bitmap.catalog import IndexCatalog
 from repro.mdhf.query import StarQuery
 from repro.mdhf.spec import Fragmentation
 from repro.schema.fact import StarSchema
+from repro.sim.admission import AdmissionController
 from repro.sim.buffer import BufferManager
-from repro.sim.config import SimulationParameters
+from repro.sim.config import SimulationParameters, WorkloadParameters
 from repro.sim.cpu import ProcessingNode
 from repro.sim.database import SimulatedDatabase
 from repro.sim.disk import Disk
@@ -25,6 +26,7 @@ from repro.sim.engine import Environment
 from repro.sim.metrics import QueryMetrics, SimulationResult
 from repro.sim.network import Network
 from repro.sim.scheduler import QueryExecutor
+from repro.workload.arrivals import ArrivalProcess, derive_rng, think_time_draw
 
 
 #: SimulationParameters fields that shape the physical database (and
@@ -105,12 +107,11 @@ class ParallelWarehouseSimulator:
                 staggered=self.params.staggered_allocation,
             )
 
-    def run(self, queries: Sequence[StarQuery]) -> SimulationResult:
-        """Execute a query stream in single-user mode."""
-        if not queries:
-            raise ValueError("need at least one query")
+    def _fresh_system(
+        self, env: Environment
+    ) -> tuple[list[Disk], list[ProcessingNode], Network, list[BufferManager]]:
+        """Disks, nodes, network and buffer pools for one run."""
         params = self.params
-        env = Environment()
         disks = [
             Disk(env, params.disk, disk_id)
             for disk_id in range(params.hardware.n_disks)
@@ -121,6 +122,34 @@ class ParallelWarehouseSimulator:
         ]
         network = Network(env, params.network)
         buffers = [BufferManager(params.buffer) for _ in nodes]
+        return disks, nodes, network, buffers
+
+    @staticmethod
+    def _collect_totals(
+        result: SimulationResult,
+        env: Environment,
+        disks: list[Disk],
+        nodes: list[ProcessingNode],
+        buffers: list[BufferManager],
+    ) -> None:
+        """Fold device and buffer statistics into the result."""
+        result.elapsed = env.now
+        for manager in buffers:
+            for pool in (manager.fact, manager.bitmap):
+                result.buffer_hits += pool.hits
+                result.buffer_misses += pool.misses
+        result.disk_busy = [disk.busy_time for disk in disks]
+        result.disk_seek = [disk.seek_time for disk in disks]
+        result.cpu_busy = [node.busy_time for node in nodes]
+        result.event_count = env.event_count
+
+    def run(self, queries: Sequence[StarQuery]) -> SimulationResult:
+        """Execute a query stream in single-user mode."""
+        if not queries:
+            raise ValueError("need at least one query")
+        params = self.params
+        env = Environment()
+        disks, nodes, network, buffers = self._fresh_system(env)
         if len(queries) == 1:
             # One star query never touches the same extent twice (each
             # fragment is visited once, its extents are disjoint), so
@@ -161,15 +190,7 @@ class ParallelWarehouseSimulator:
                 )
             )
 
-        result.elapsed = env.now
-        for manager in buffers:
-            for pool in (manager.fact, manager.bitmap):
-                result.buffer_hits += pool.hits
-                result.buffer_misses += pool.misses
-        result.disk_busy = [disk.busy_time for disk in disks]
-        result.disk_seek = [disk.seek_time for disk in disks]
-        result.cpu_busy = [node.busy_time for node in nodes]
-        result.event_count = env.event_count
+        self._collect_totals(result, env, disks, nodes, buffers)
         return result
 
     def run_repeated(self, query: StarQuery, repetitions: int) -> SimulationResult:
@@ -188,27 +209,21 @@ class ParallelWarehouseSimulator:
         user session: its queries run back to back, while the streams
         themselves compete for disks, CPUs and buffer space.  Response
         times in the result are per query, in stream completion order.
+
+        Each executor draws its coordinator from an RNG derived from
+        ``(seed, stream, query)`` rather than one shared stream, so the
+        draws are invariant to how the streams happen to interleave.
         """
         if not streams or not all(streams):
             raise ValueError("need at least one non-empty stream")
         params = self.params
         env = Environment()
-        disks = [
-            Disk(env, params.disk, disk_id)
-            for disk_id in range(params.hardware.n_disks)
-        ]
-        nodes = [
-            ProcessingNode(env, node_id, params.hardware.cpu_mips)
-            for node_id in range(params.hardware.n_nodes)
-        ]
-        network = Network(env, params.network)
-        buffers = [BufferManager(params.buffer) for _ in nodes]
-        rng = random.Random(params.seed)
+        disks, nodes, network, buffers = self._fresh_system(env)
 
         result = SimulationResult()
 
-        def stream_body(queries: Sequence[StarQuery]):
-            for query in queries:
+        def stream_body(stream_id: int, queries: Sequence[StarQuery]):
+            for q_index, query in enumerate(queries):
                 plan = self.database.plan(query)
                 executor = QueryExecutor(
                     env=env,
@@ -218,7 +233,7 @@ class ParallelWarehouseSimulator:
                     disks=disks,
                     network=network,
                     buffers=buffers,
-                    rng=rng,
+                    rng=derive_rng(params.seed, "multiuser", stream_id, q_index),
                     params=params,
                 )
                 start = env.now
@@ -234,21 +249,119 @@ class ParallelWarehouseSimulator:
                         bitmap_io_ops=executor.io.bitmap_ops,
                         bitmap_pages=executor.io.bitmap_pages,
                         coordinator_node=executor.coordinator_id,
+                        stream=stream_id,
                     )
                 )
 
-        processes = [env.process(stream_body(stream)) for stream in streams]
+        processes = [
+            env.process(stream_body(stream_id, stream))
+            for stream_id, stream in enumerate(streams)
+        ]
         env.run()
         if not all(process.done.triggered for process in processes):
             raise RuntimeError("a query stream did not complete")
 
-        result.elapsed = env.now
-        for manager in buffers:
-            for pool in (manager.fact, manager.bitmap):
-                result.buffer_hits += pool.hits
-                result.buffer_misses += pool.misses
-        result.disk_busy = [disk.busy_time for disk in disks]
-        result.disk_seek = [disk.seek_time for disk in disks]
-        result.cpu_busy = [node.busy_time for node in nodes]
-        result.event_count = env.event_count
+        self._collect_totals(result, env, disks, nodes, buffers)
+        return result
+
+    def run_open_system(
+        self,
+        sessions: Sequence[Sequence[StarQuery]],
+        workload: WorkloadParameters | None = None,
+    ) -> SimulationResult:
+        """Execute an open-system workload: sessions *arrive* over time.
+
+        Each session arrives according to ``workload.arrival_process``
+        (Poisson, fixed-rate or bursty at ``arrival_rate_qps``), then
+        issues its queries in order, pausing for an exponential think
+        time of mean ``think_time_s`` between consecutive queries
+        (closed/open hybrid; 0 = pure open).  Every query passes through
+        an MPL-capped FIFO :class:`AdmissionController`, and the result
+        records queueing delay (arrival -> admission) separately from
+        service time (admission -> completion).
+
+        All stochastic draws — arrival gaps, think times, coordinator
+        choices — come from RNGs derived from ``(seed, site, session,
+        query)``, so a run is bit-reproducible under a fixed seed and
+        invariant to event-interleaving refactors.
+        """
+        if not sessions or not all(sessions):
+            raise ValueError("need at least one non-empty session")
+        params = self.params
+        workload = workload if workload is not None else params.workload
+        arrivals = ArrivalProcess(
+            kind=workload.arrival_process,
+            rate_qps=workload.arrival_rate_qps,
+            burst_size=workload.burst_size,
+        )
+        env = Environment()
+        disks, nodes, network, buffers = self._fresh_system(env)
+        controller = AdmissionController(env, workload.max_mpl)
+
+        result = SimulationResult()
+
+        def session_body(session_id: int, queries: Sequence[StarQuery]):
+            think_rng = derive_rng(params.seed, "think", session_id)
+            for q_index, query in enumerate(queries):
+                if q_index and workload.think_time_s:
+                    pause = think_time_draw(think_rng, workload.think_time_s)
+                    if pause:
+                        yield env.timeout(pause)
+                arrived = env.now
+                yield controller.request()
+                admitted = env.now
+                plan = self.database.plan(query)
+                executor = QueryExecutor(
+                    env=env,
+                    database=self.database,
+                    plan=plan,
+                    nodes=nodes,
+                    disks=disks,
+                    network=network,
+                    buffers=buffers,
+                    rng=derive_rng(params.seed, "open", session_id, q_index),
+                    params=params,
+                )
+                process = env.process(executor.body())
+                yield process.done
+                controller.release()
+                result.queries.append(
+                    QueryMetrics(
+                        name=query.name or str(query),
+                        response_time=env.now - admitted,
+                        subqueries=executor.io.subqueries,
+                        fact_io_ops=executor.io.fact_ops,
+                        fact_pages=executor.io.fact_pages,
+                        bitmap_io_ops=executor.io.bitmap_ops,
+                        bitmap_pages=executor.io.bitmap_pages,
+                        coordinator_node=executor.coordinator_id,
+                        stream=session_id,
+                        arrived_at=arrived,
+                        admitted_at=admitted,
+                        queue_delay=admitted - arrived,
+                    )
+                )
+
+        session_processes: list = []
+
+        def source_body():
+            gaps = arrivals.interarrivals(len(sessions), params.seed)
+            for session_id, (gap, queries) in enumerate(zip(gaps, sessions)):
+                if gap:
+                    yield env.timeout(gap)
+                session_processes.append(
+                    env.process(session_body(session_id, queries))
+                )
+
+        source = env.process(source_body())
+        env.run()
+        if not source.done.triggered or not all(
+            process.done.triggered for process in session_processes
+        ):
+            raise RuntimeError("an open-system session did not complete")
+
+        self._collect_totals(result, env, disks, nodes, buffers)
+        result.peak_mpl = controller.peak_active
+        result.peak_queue_length = controller.peak_waiting
+        result.queued_arrivals = controller.queued_total
         return result

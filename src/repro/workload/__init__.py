@@ -5,6 +5,15 @@ Named templates (``1STORE``, ``1MONTH``, ``1CODE``, ``1MONTH1GROUP``,
 a single-user stream exactly as the paper's query generator does.
 """
 
+from repro.workload.arrivals import (
+    ARRIVAL_BURSTY,
+    ARRIVAL_FIXED,
+    ARRIVAL_KINDS,
+    ARRIVAL_POISSON,
+    ArrivalProcess,
+    derive_rng,
+    think_time_draw,
+)
 from repro.workload.queries import (
     APB1_QUERY_TYPES,
     make_template,
@@ -14,7 +23,14 @@ from repro.workload.generator import WorkloadGenerator
 
 __all__ = [
     "APB1_QUERY_TYPES",
+    "ARRIVAL_BURSTY",
+    "ARRIVAL_FIXED",
+    "ARRIVAL_KINDS",
+    "ARRIVAL_POISSON",
+    "ArrivalProcess",
+    "derive_rng",
     "query_type",
     "make_template",
+    "think_time_draw",
     "WorkloadGenerator",
 ]

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.sim.metrics import QueryMetrics, SimulationResult
+from repro.sim.metrics import (
+    QueryMetrics,
+    SimulationResult,
+    percentile,
+)
 
 
 def metrics(name="q", response=1.0, **kwargs):
@@ -32,9 +36,29 @@ class TestSimulationResult:
         assert result.max_response_time == 3.0
         assert result.query_count == 2
 
-    def test_avg_response_requires_queries(self):
-        with pytest.raises(ValueError):
-            SimulationResult().avg_response_time
+    def test_empty_result_error_contract_is_uniform(self):
+        # Every aggregate that needs queries raises the same friendly
+        # ValueError — no opaque builtin errors from max()/fmean().
+        empty = SimulationResult()
+        baseline = SimulationResult(queries=[metrics()])
+        for attribute in (
+            "avg_response_time",
+            "max_response_time",
+            "avg_queue_delay",
+            "max_queue_delay",
+            "avg_total_delay",
+            "throughput_qps",
+        ):
+            with pytest.raises(ValueError, match="no queries were executed"):
+                getattr(empty, attribute)
+        with pytest.raises(ValueError, match="no queries were executed"):
+            empty.speedup_against(baseline)
+        with pytest.raises(ValueError, match="no queries were executed"):
+            baseline.speedup_against(empty)
+        with pytest.raises(ValueError, match="no queries were executed"):
+            empty.response_time_percentile(50)
+        with pytest.raises(ValueError, match="no queries were executed"):
+            empty.per_stream()
 
     def test_utilizations(self):
         result = SimulationResult(
@@ -59,3 +83,74 @@ class TestSimulationResult:
         slow = SimulationResult(queries=[metrics(response=10.0)])
         fast = SimulationResult(queries=[metrics(response=2.0)])
         assert fast.speedup_against(slow) == pytest.approx(5.0)
+
+    def test_queue_delay_aggregates(self):
+        result = SimulationResult(
+            queries=[
+                metrics(response=1.0, queue_delay=0.5, arrived_at=0.0,
+                        admitted_at=0.5),
+                metrics(response=3.0, queue_delay=1.5, arrived_at=1.0,
+                        admitted_at=2.5),
+            ],
+            elapsed=6.0,
+        )
+        assert result.avg_queue_delay == pytest.approx(1.0)
+        assert result.max_queue_delay == 1.5
+        assert result.avg_total_delay == pytest.approx(3.0)
+        assert result.throughput_qps == pytest.approx(2 / 6.0)
+        assert result.queries[0].total_delay == pytest.approx(1.5)
+
+    def test_per_stream_groups_and_sorts(self):
+        result = SimulationResult(
+            queries=[
+                metrics(response=2.0, stream=1, queue_delay=1.0),
+                metrics(response=4.0, stream=0),
+                metrics(response=6.0, stream=1, queue_delay=3.0),
+            ]
+        )
+        per_stream = result.per_stream()
+        assert list(per_stream) == [0, 1]
+        assert per_stream[0].query_count == 1
+        assert per_stream[0].avg_response_time == pytest.approx(4.0)
+        assert per_stream[1].query_count == 2
+        assert per_stream[1].avg_response_time == pytest.approx(4.0)
+        assert per_stream[1].avg_queue_delay == pytest.approx(2.0)
+
+    def test_closed_stream_defaults_are_zero(self):
+        q = metrics()
+        assert q.stream == 0
+        assert q.arrived_at == q.admitted_at == q.queue_delay == 0.0
+        assert q.total_delay == q.response_time
+
+
+class TestPercentile:
+    def test_interpolates_linearly(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+        assert percentile(values, 25) == pytest.approx(1.75)
+
+    def test_order_independent(self):
+        assert percentile([4.0, 1.0, 3.0, 2.0], 50) == percentile(
+            [1.0, 2.0, 3.0, 4.0], 50
+        )
+
+    def test_single_value(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_result_percentiles(self):
+        result = SimulationResult(
+            queries=[metrics(response=float(i)) for i in range(1, 11)]
+        )
+        assert result.response_time_percentile(50) == pytest.approx(5.5)
+        assert (
+            result.response_time_percentile(95)
+            <= result.max_response_time
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
