@@ -174,11 +174,50 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_jobs(args: argparse.Namespace) -> int:
+    """Effective pool size: --jobs, else --workers, else all CPUs."""
+    if args.jobs is not None:
+        return args.jobs
+    if args.workers is not None:
+        return args.workers
+    return os.cpu_count() or 1
+
+
+def _warm_progress(descriptions: list[str]) -> None:
+    """Report the pre-fork cache warm-up (databases split across shards)."""
+    from repro.mdhf.fragments import geometry_cache_info
+
+    cache = geometry_cache_info()
+    print(
+        f"  [warm] {len(descriptions)} shared databases pre-built for "
+        f"forked workers ({cache['entries']} cached geometries)",
+        flush=True,
+    )
+    for description in descriptions:
+        print(f"  [warm]   {description}", flush=True)
+
+
+def _shard_progress(outcome, plan) -> None:
+    """One line per completed shard (pool completion order)."""
+    shard = plan.shards[outcome.index]
+    if outcome.error is not None:
+        status = f"FAILED at run {outcome.error.run_id!r}"
+    else:
+        status = f"ok {len(outcome.results):>3} runs"
+    print(
+        f"  [shard {outcome.index + 1}/{len(plan.shards)}] {status} "
+        f"in {outcome.wall_clock_s:.2f}s  ({shard.span()})",
+        flush=True,
+    )
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.scenarios import (
         ScenarioRunner,
+        ShardExecutionError,
         compare_to_golden,
         get_scenario,
+        golden_filename,
         iter_scenarios,
         write_report,
     )
@@ -199,7 +238,70 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
-    out = args.out or f"BENCH_{scenario.name}.json"
+    golden_before = None
+    if args.regen:
+        # Regenerate the committed golden in place; the flags that would
+        # change the run matrix away from the golden's are rejected.
+        for flag, value in (
+            ("--out", args.out), ("--runs", args.runs),
+            ("--seed", args.seed), ("--seeds", args.seeds),
+            ("--check", args.check),
+        ):
+            if value is not None:
+                print(f"error: {flag} cannot be combined with --regen",
+                      file=sys.stderr)
+                return 2
+        if not os.path.isdir(args.golden_dir):
+            print(f"error: golden directory {args.golden_dir!r} does not "
+                  f"exist (run from the repo root or pass --golden-dir)",
+                  file=sys.stderr)
+            return 2
+        out = os.path.join(
+            args.golden_dir, golden_filename(scenario.name, args.fast)
+        )
+        if os.path.exists(out):
+            import json
+
+            try:
+                with open(out) as handle:
+                    golden_before = json.load(handle)
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"error: cannot read existing golden {out}: {exc} "
+                      f"(delete the file to regenerate from scratch)",
+                      file=sys.stderr)
+                return 2
+            # An explicit --stable wins; otherwise preserve the golden's
+            # stability mode.  Stable reports zero *every* wall-clock
+            # field; requiring the per-run fields too keeps a fast
+            # non-stable golden (whose total happens to round to 0.0)
+            # from being silently converted.
+            if not args.stable:
+                args.stable = golden_before.get(
+                    "wall_clock_s"
+                ) == 0.0 and all(
+                    entry.get("wall_clock_s") == 0.0
+                    for entry in golden_before.get("runs", [])
+                )
+        else:
+            sibling = os.path.join(
+                args.golden_dir,
+                golden_filename(scenario.name, not args.fast),
+            )
+            if os.path.exists(sibling):
+                # Don't silently fork a second golden variant (the
+                # nightly sweep would then run both matrices forever).
+                hint = (
+                    "drop --fast" if args.fast else "add --fast"
+                )
+                print(
+                    f"error: no {out} but {sibling} exists; {hint} to "
+                    f"regenerate the committed golden, or remove the "
+                    f"existing file first to switch variants",
+                    file=sys.stderr,
+                )
+                return 2
+    else:
+        out = args.out or f"BENCH_{scenario.name}.json"
     out_dir = os.path.dirname(out) or "."
     if not os.path.isdir(out_dir):
         print(f"error: output directory {out_dir!r} does not exist",
@@ -216,12 +318,56 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-    runner = ScenarioRunner(
-        scenario, workers=args.workers, fast=args.fast, seed=args.seed,
-        run_ids=run_ids,
-    )
-    report = runner.run()
+    seeds = None
+    if args.seeds is not None:
+        try:
+            seeds = [int(part) for part in args.seeds.split(",") if part.strip()]
+        except ValueError:
+            print(f"error: --seeds wants comma-separated integers, got "
+                  f"{args.seeds!r}", file=sys.stderr)
+            return 2
+    if args.check is not None and not os.path.isfile(args.check):
+        # Validate before the (possibly multi-minute) sweep runs.
+        print(f"error: golden report {args.check!r} does not exist",
+              file=sys.stderr)
+        return 2
+    jobs = _bench_jobs(args)
+    try:
+        # The runner owns the semantic validation (jobs >= 1, distinct
+        # non-empty seeds, seed-vs-seeds exclusivity), so library and
+        # CLI callers share one set of rules.
+        runner = ScenarioRunner(
+            scenario, jobs=jobs, fast=args.fast, seed=args.seed,
+            run_ids=run_ids, seeds=seeds,
+            on_shard=_shard_progress if jobs > 1 else None,
+            on_warm=_warm_progress if jobs > 1 else None,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = runner.run()
+    except ShardExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(f"error: run point {exc.run_id!r} (shard {exc.shard_index}) "
+              f"failed; see the traceback above", file=sys.stderr)
+        return 1
     write_report(report, out, stable=args.stable)
+    if args.regen:
+        new_fingerprint = report.metrics_fingerprint()
+        if golden_before is None:
+            print(f"regenerated {out} (new golden)")
+            print(f"fingerprint: (none) -> {new_fingerprint}")
+        else:
+            old_fingerprint = golden_before.get("metrics_fingerprint")
+            changed = (
+                "unchanged" if old_fingerprint == new_fingerprint
+                else "CHANGED"
+            )
+            print(f"regenerated {out} ({changed})")
+            print(f"fingerprint: {old_fingerprint}")
+            print(f"          -> {new_fingerprint}")
+        return 0
     print(f"scenario: {scenario.name} ({scenario.title})")
     for result in report.runs:
         response = result.metrics.get(
@@ -333,8 +479,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the scenario's reduced sweep (same shape, fewer points)",
     )
     bench.add_argument(
-        "--workers", type=int, default=1,
-        help="process-pool size for the run matrix (default 1 = in-process)",
+        "-j", "--jobs", type=int, default=None,
+        help="shard the run matrix across this many worker processes "
+             "(default: all CPUs; 1 = the serial path; the metrics "
+             "fingerprint is identical for any value, and reports are "
+             "byte-identical under --stable)",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=None,
+        help="deprecated alias for --jobs",
     )
     bench.add_argument(
         "--out", default=None,
@@ -343,6 +496,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--seed", type=int, default=None,
         help="override every run's seed (default: the registered seeds)",
+    )
+    bench.add_argument(
+        "--seeds", default=None, metavar="S0,S1,...",
+        help="replicate the matrix over these seeds (run_ids gain a "
+             "_s<seed> suffix); the seed axis is sharded like any other",
     )
     bench.add_argument(
         "--runs", default=None,
@@ -358,6 +516,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", default=None, metavar="GOLDEN_JSON",
         help="compare metrics against a golden BENCH report (exit 1 on "
              "mismatch) and print wall-clock deltas",
+    )
+    bench.add_argument(
+        "--regen", action="store_true",
+        help="regenerate the scenario's committed golden in place "
+             "(benchmarks/results/BENCH_<scenario>[_fast].json, honouring "
+             "--fast) and print the fingerprint diff",
+    )
+    bench.add_argument(
+        "--golden-dir", default=os.path.join("benchmarks", "results"),
+        help="where --regen reads/writes goldens "
+             "(default benchmarks/results)",
     )
     bench.set_defaults(handler=_cmd_bench)
 

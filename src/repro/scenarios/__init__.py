@@ -8,7 +8,9 @@ Public surface:
 * :class:`ScenarioRunner` — expands a scenario matrix and executes it,
   optionally across a process pool,
 * :func:`execute_run` / :func:`write_report` / :func:`validate_report`
-  — single-point execution and the ``BENCH_<scenario>.json`` format.
+  — single-point execution and the ``BENCH_<scenario>.json`` format,
+* :func:`plan_shards` / :func:`execute_shard` / :func:`merge_outcomes`
+  — the in-run sharding layer (``repro bench --jobs N``).
 """
 
 from repro.scenarios.registry import (
@@ -24,8 +26,19 @@ from repro.scenarios.runner import (
     ScenarioRunner,
     compare_to_golden,
     execute_run,
+    golden_filename,
     validate_report,
     write_report,
+)
+from repro.scenarios.shard import (
+    Shard,
+    ShardExecutionError,
+    ShardOutcome,
+    ShardPlan,
+    execute_shard,
+    merge_outcomes,
+    plan_shards,
+    warm_caches,
 )
 from repro.scenarios.spec import RunSpec, ScenarioSpec, grid
 
@@ -36,13 +49,22 @@ __all__ = [
     "RunSpec",
     "ScenarioRunner",
     "ScenarioSpec",
+    "Shard",
+    "ShardExecutionError",
+    "ShardOutcome",
+    "ShardPlan",
     "compare_to_golden",
     "execute_run",
+    "execute_shard",
     "get_scenario",
+    "golden_filename",
     "grid",
     "iter_scenarios",
+    "merge_outcomes",
+    "plan_shards",
     "register",
     "scenario_names",
     "validate_report",
+    "warm_caches",
     "write_report",
 ]

@@ -228,6 +228,10 @@ register(
             "group_deg20", "group_deg100", "class_deg20", "class_deg100",
             "code_deg100",
         ),
+        # The F_MonthCode points are orders of magnitude slower than the
+        # group/class points; chunk per-point so they don't pile up
+        # behind one worker.
+        chunk_size=1,
     )
 )
 
@@ -327,6 +331,9 @@ register(
             )
         ),
         fast_run_ids=("cluster8", "cluster32"),
+        # Each clustered expansion takes several seconds on its own, so
+        # one point per shard keeps the pool load-balanced.
+        chunk_size=1,
     )
 )
 

@@ -480,8 +480,39 @@ def _derived_metrics(runs: list[RunResult]) -> dict:
     return derived
 
 
+def _pool_context():
+    """The multiprocessing context for shard pools.
+
+    ``fork`` lets workers inherit the parent's warmed schema/database
+    caches copy-on-write (see :func:`repro.scenarios.shard.warm_caches`).
+    Only Linux gets the override: macOS lists ``fork`` but forking after
+    system frameworks load is documented unsafe there (CPython's own
+    default moved to ``spawn`` in 3.8).  Everywhere else the platform
+    default applies and each worker cold-starts its own caches.
+    """
+    import sys
+
+    if (
+        sys.platform == "linux"
+        and "fork" in multiprocessing.get_all_start_methods()
+    ):
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
 class ScenarioRunner:
-    """Expand a scenario's matrix and execute it, optionally in parallel."""
+    """Expand a scenario's matrix and execute it, optionally sharded.
+
+    Execution is split into three deterministic phases:
+
+    * :meth:`plan` — expand the (possibly reduced / subset / re-seeded /
+      seed-replicated) run list and partition it into shards,
+    * :meth:`execute` — run the shards serially or across a process
+      pool (completion order is irrelevant),
+    * merge — reassemble results in the original run order (inside
+      :meth:`run`), so ``metrics_fingerprint`` is byte-identical for
+      any ``jobs`` count, including the serial path.
+    """
 
     def __init__(
         self,
@@ -490,16 +521,47 @@ class ScenarioRunner:
         fast: bool = False,
         seed: int | None = None,
         run_ids: list[str] | None = None,
+        jobs: int | None = None,
+        seeds: list[int] | None = None,
+        on_shard=None,
+        on_warm=None,
     ):
         if isinstance(scenario, str):
             from repro.scenarios.registry import get_scenario
 
             scenario = get_scenario(scenario)
+        if seed is not None and seeds is not None:
+            raise ValueError("pass either seed or seeds, not both")
         self.scenario = scenario
-        self.workers = workers if workers is not None else 1
+        #: ``jobs`` is the canonical pool-size knob; ``workers`` is the
+        #: pre-sharding name, kept as an alias.
+        if jobs is not None:
+            self.jobs = jobs
+        elif workers is not None:
+            self.jobs = workers
+        else:
+            self.jobs = 1
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if seeds is not None:
+            seeds = list(seeds)
+            if not seeds:
+                raise ValueError("seeds must name at least one seed")
+            if len(set(seeds)) != len(seeds):
+                raise ValueError(
+                    f"seeds must be distinct (got {seeds}); duplicate "
+                    f"replicas would collapse into one run_id"
+                )
         self.fast = fast
         self.seed = seed
+        self.seeds = seeds
         self.run_ids = run_ids
+        #: Optional ``callback(outcome, plan)`` fired as each shard
+        #: completes (pool completion order, not plan order).
+        self.on_shard = on_shard
+        #: Optional ``callback(descriptions)`` fired after the pre-fork
+        #: cache warm-up, with one description line per built database.
+        self.on_warm = on_warm
 
     def _runs(self) -> list[RunSpec]:
         from dataclasses import replace
@@ -517,7 +579,110 @@ class ScenarioRunner:
             runs = [run for run in runs if run.run_id in wanted]
         if self.seed is not None:
             runs = [replace(run, seed=self.seed) for run in runs]
+        if self.seeds is not None:
+            # Multi-seed replication: the run x seed product, with the
+            # seed spelled into the run_id.  The shard planner splits
+            # this axis like any other part of the run list.
+            runs = [
+                replace(run, run_id=f"{run.run_id}_s{seed}", seed=seed)
+                for run in runs
+                for seed in self.seeds
+            ]
         return runs
+
+    def plan(self):
+        """The deterministic shard plan for this configuration."""
+        from repro.scenarios.shard import plan_shards
+
+        jobs = self.jobs if self.scenario.shardable else 1
+        return plan_shards(
+            self._runs(), jobs, chunk_size=self.scenario.chunk_size
+        )
+
+    def execute(self, plan) -> list[RunResult]:
+        """Execute a shard plan and return results in plan order."""
+        from repro.scenarios.shard import (
+            execute_shard,
+            merge_outcomes,
+            raise_shard_error,
+            warm_caches,
+        )
+
+        if plan.jobs <= 1 or len(plan.shards) <= 1:
+            # The pre-sharding serial path, point by point in order.
+            outcomes = []
+            for shard in plan.shards:
+                outcome = execute_shard(shard, keep_exception=True)
+                if self.on_shard is not None:
+                    self.on_shard(outcome, plan)
+                if outcome.error is not None:
+                    raise_shard_error(outcome)
+                outcomes.append(outcome)
+            return merge_outcomes(plan, outcomes)
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.scenarios.shard import ShardExecutionError
+
+        context = _pool_context()
+        if context.get_start_method() == "fork":
+            # Build split databases once, pre-fork; workers inherit the
+            # caches copy-on-write instead of cold-starting every point.
+            warmed = warm_caches(plan.warm_runs)
+            if warmed and self.on_warm is not None:
+                self.on_warm(warmed)
+        outcomes = []
+        failed = None
+        processes = min(plan.jobs, len(plan.shards))
+        # ProcessPoolExecutor (not multiprocessing.Pool) so that a
+        # worker dying abruptly — OOM kill, segfault — raises
+        # BrokenProcessPool instead of hanging the iteration forever.
+        with ProcessPoolExecutor(
+            max_workers=processes, mp_context=context
+        ) as pool:
+            futures = {
+                pool.submit(execute_shard, shard): shard
+                for shard in plan.shards
+            }
+            try:
+                for future in as_completed(futures):
+                    outcome = future.result()
+                    if self.on_shard is not None:
+                        self.on_shard(outcome, plan)
+                    outcomes.append(outcome)
+                    if outcome.error is not None:
+                        # Don't queue the rest of the sweep behind a
+                        # known failure (in-flight shards still finish;
+                        # the executor cannot kill running workers).
+                        failed = outcome
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        break
+            except BrokenProcessPool as exc:
+                def _completed(future) -> bool:
+                    return (
+                        future.done()
+                        and not future.cancelled()
+                        and future.exception() is None
+                    )
+
+                broken = sorted(
+                    (
+                        shard
+                        for future, shard in futures.items()
+                        if not _completed(future)
+                    ),
+                    key=lambda shard: shard.index,
+                )
+                spans = ", ".join(shard.span() for shard in broken)
+                raise ShardExecutionError(
+                    f"a worker process died abruptly (out of memory? "
+                    f"killed?) while executing shard(s) {spans}",
+                    run_id=broken[0].runs[0].run_id if broken else "?",
+                    shard_index=broken[0].index if broken else -1,
+                ) from exc
+        if failed is not None:
+            raise_shard_error(failed)
+        return merge_outcomes(plan, outcomes)
 
     def run(self) -> BenchReport:
         started = time.perf_counter()
@@ -541,13 +706,7 @@ class ScenarioRunner:
                 )
             )
         else:
-            runs = self._runs()
-            if self.workers > 1 and len(runs) > 1:
-                with multiprocessing.Pool(self.workers) as pool:
-                    results = pool.map(execute_run, runs)
-            else:
-                results = [execute_run(run) for run in runs]
-            report.runs.extend(results)
+            report.runs.extend(self.execute(self.plan()))
             report.derived = _derived_metrics(report.runs)
         report.wall_clock_s = time.perf_counter() - started
         return report
@@ -588,6 +747,16 @@ def compare_to_golden(report: BenchReport, golden: dict) -> list[str]:
         if report.metrics_fingerprint() != golden.get("metrics_fingerprint"):
             problems.append("metrics_fingerprint differs")
     return problems
+
+
+def golden_filename(scenario_name: str, fast: bool) -> str:
+    """The committed-golden naming convention under ``benchmarks/results``.
+
+    Fast (reduced-sweep) goldens carry a ``_fast`` suffix; full-matrix
+    goldens (the smoke scenarios, static/analytic tables) do not.
+    """
+    suffix = "_fast" if fast else ""
+    return f"BENCH_{scenario_name}{suffix}.json"
 
 
 def write_report(report: BenchReport, path: str, stable: bool = False) -> None:

@@ -180,6 +180,21 @@ class SimulatedDatabase:
     def plan(self, query: StarQuery) -> QueryPlan:
         return plan_query(query, self.fragmentation, self.schema, self.catalog)
 
+    def describe(self) -> str:
+        """One-line identity for cache warm-up / shard progress logs."""
+        skew = (
+            f" skew={self.params.data_skew}" if self.params.data_skew else ""
+        )
+        cluster = (
+            f" cluster={self.params.cluster_factor}"
+            if self.params.cluster_factor > 1
+            else ""
+        )
+        return (
+            f"{self.fragmentation} d={self.params.hardware.n_disks} "
+            f"({self.geometry.fragment_count:,} fragments{skew}{cluster})"
+        )
+
     # -- geometry helpers ------------------------------------------------------
 
     @property

@@ -156,3 +156,147 @@ class TestCliBench:
         path = tmp_path / "BENCH_roundtrip.json"
         write_report(report, str(path))
         validate_report(json.loads(path.read_text()))
+
+    def test_bench_jobs_matches_serial_fingerprint(self, tmp_path, capsys):
+        serial = tmp_path / "serial.json"
+        sharded = tmp_path / "sharded.json"
+        assert cli_main(
+            ["bench", "--scenario", "smoke_tiny", "--jobs", "1",
+             "--stable", "--out", str(serial)]
+        ) == 0
+        assert cli_main(
+            ["bench", "--scenario", "smoke_tiny", "--jobs", "3",
+             "--stable", "--out", str(sharded)]
+        ) == 0
+        assert serial.read_text() == sharded.read_text()
+        # The sharded run narrates per-shard progress.
+        assert "[shard " in capsys.readouterr().out
+
+    def test_bench_seeds_replicates_runs(self, tmp_path):
+        out = tmp_path / "seeds.json"
+        assert cli_main(
+            ["bench", "--scenario", "smoke_tiny", "--fast",
+             "--seeds", "0,5", "--out", str(out)]
+        ) == 0
+        data = json.loads(out.read_text())
+        validate_report(data)
+        ids = [run["run_id"] for run in data["runs"]]
+        assert ids == ["tiny_1store_s0", "tiny_1store_s5"]
+
+    def test_bench_seed_and_seeds_conflict(self, capsys):
+        assert cli_main(
+            ["bench", "--scenario", "smoke_tiny", "--seed", "1",
+             "--seeds", "2,3"]
+        ) == 2
+        assert "either seed or seeds" in capsys.readouterr().err
+
+    def test_bench_duplicate_or_empty_seeds_fail(self, capsys):
+        assert cli_main(
+            ["bench", "--scenario", "smoke_tiny", "--seeds", "1,1"]
+        ) == 2
+        assert "distinct" in capsys.readouterr().err
+        assert cli_main(
+            ["bench", "--scenario", "smoke_tiny", "--seeds", ","]
+        ) == 2
+        assert "at least one" in capsys.readouterr().err
+
+    def test_bench_missing_check_golden_fails_before_running(self, capsys):
+        assert cli_main(
+            ["bench", "--scenario", "smoke_tiny",
+             "--check", "no/such/golden.json"]
+        ) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_bench_non_positive_jobs_fail_cleanly(self, capsys):
+        assert cli_main(
+            ["bench", "--scenario", "smoke_tiny", "--jobs", "0"]
+        ) == 2
+        assert "jobs must be >= 1" in capsys.readouterr().err
+        assert cli_main(
+            ["bench", "--scenario", "smoke_tiny", "--workers", "0"]
+        ) == 2
+
+
+class TestCliRegen:
+    def test_regen_creates_and_then_reports_unchanged(
+        self, tmp_path, capsys
+    ):
+        argv = ["bench", "--scenario", "smoke_tiny", "--fast",
+                "--regen", "--golden-dir", str(tmp_path)]
+        assert cli_main(argv) == 0
+        out = capsys.readouterr().out
+        golden = tmp_path / "BENCH_smoke_tiny_fast.json"
+        assert golden.exists()
+        assert "new golden" in out
+        validate_report(json.loads(golden.read_text()))
+        # Second regeneration: same metrics, diff reported as unchanged.
+        assert cli_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "unchanged" in out
+        assert "fingerprint:" in out
+
+    def test_regen_preserves_the_goldens_stability_mode(self, tmp_path):
+        argv = ["bench", "--scenario", "smoke_tiny", "--regen",
+                "--stable", "--golden-dir", str(tmp_path)]
+        assert cli_main(argv) == 0
+        golden = tmp_path / "BENCH_smoke_tiny.json"
+        first = golden.read_text()
+        assert json.loads(first)["wall_clock_s"] == 0.0
+        # No --stable the second time: inferred from the existing golden.
+        assert cli_main(
+            ["bench", "--scenario", "smoke_tiny", "--regen",
+             "--golden-dir", str(tmp_path)]
+        ) == 0
+        assert golden.read_text() == first
+
+    def test_regen_honours_an_explicit_stable_flag(self, tmp_path):
+        # First regen without --stable: wall clocks are recorded.
+        base = ["bench", "--scenario", "smoke_tiny", "--regen",
+                "--golden-dir", str(tmp_path)]
+        assert cli_main(base) == 0
+        golden = tmp_path / "BENCH_smoke_tiny.json"
+        assert json.loads(golden.read_text())["wall_clock_s"] > 0.0
+        # Explicit --stable converts the golden instead of being ignored.
+        assert cli_main(base + ["--stable"]) == 0
+        assert json.loads(golden.read_text())["wall_clock_s"] == 0.0
+
+    def test_regen_rejects_matrix_changing_flags(self, tmp_path, capsys):
+        assert cli_main(
+            ["bench", "--scenario", "smoke_tiny", "--regen",
+             "--golden-dir", str(tmp_path), "--runs", "tiny_1store"]
+        ) == 2
+        assert "--runs" in capsys.readouterr().err
+
+    def test_regen_refuses_to_fork_a_second_golden_variant(
+        self, tmp_path, capsys
+    ):
+        # A fast golden exists; regenerating the full variant would make
+        # the nightly sweep run both matrices forever.
+        assert cli_main(
+            ["bench", "--scenario", "smoke_tiny", "--fast", "--regen",
+             "--golden-dir", str(tmp_path)]
+        ) == 0
+        capsys.readouterr()
+        assert cli_main(
+            ["bench", "--scenario", "smoke_tiny", "--regen",
+             "--golden-dir", str(tmp_path)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "add --fast" in err
+        assert not (tmp_path / "BENCH_smoke_tiny.json").exists()
+
+    def test_regen_reports_a_corrupt_golden_cleanly(self, tmp_path, capsys):
+        golden = tmp_path / "BENCH_smoke_tiny_fast.json"
+        golden.write_text("{ truncated")
+        assert cli_main(
+            ["bench", "--scenario", "smoke_tiny", "--fast", "--regen",
+             "--golden-dir", str(tmp_path)]
+        ) == 2
+        assert "cannot read existing golden" in capsys.readouterr().err
+
+    def test_regen_requires_an_existing_golden_dir(self, tmp_path, capsys):
+        assert cli_main(
+            ["bench", "--scenario", "smoke_tiny", "--regen",
+             "--golden-dir", str(tmp_path / "missing")]
+        ) == 2
+        assert "golden directory" in capsys.readouterr().err

@@ -1,0 +1,293 @@
+"""The in-run sharding layer: planning, determinism, error surfacing.
+
+Property-style checks: for any ``jobs`` count and any chunk size the
+shard plan covers the run list exactly once in order, the merged report
+fingerprint is byte-identical to the serial path, and the merge is
+invariant to shard completion order.  A run point that raises inside a
+worker must surface its ``run_id``, not a bare pool traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.scenarios import (
+    RunSpec,
+    ScenarioRunner,
+    ScenarioSpec,
+    ShardExecutionError,
+    execute_shard,
+    merge_outcomes,
+    plan_shards,
+)
+from repro.scenarios.shard import ShardOutcome
+
+F_MG = ("time::month", "product::group")
+
+
+def _tiny_run(run_id: str, n_disks: int = 10, t: int = 2, **kw) -> RunSpec:
+    return RunSpec(
+        run_id=run_id,
+        query="1STORE",
+        fragmentation=F_MG,
+        schema="tiny",
+        n_disks=n_disks,
+        n_nodes=2,
+        t=t,
+        **kw,
+    )
+
+
+def _tiny_scenario() -> ScenarioSpec:
+    """Six tiny-schema points in two database groups (d=10, d=8)."""
+    return ScenarioSpec(
+        name="_shard_synthetic",
+        title="synthetic sharding scenario",
+        runs=tuple(
+            _tiny_run(f"d{d}_t{t}", n_disks=d, t=t)
+            for d in (10, 8)
+            for t in (1, 2, 3)
+        ),
+    )
+
+
+class TestPlanning:
+    @pytest.mark.parametrize("jobs", [1, 2, 3, 4, 16])
+    @pytest.mark.parametrize("chunk_size", [None, 1, 2, 4])
+    def test_plan_covers_every_run_once_in_order(self, jobs, chunk_size):
+        runs = _tiny_scenario().runs
+        plan = plan_shards(runs, jobs, chunk_size=chunk_size)
+        assert plan.runs() == runs
+        assert plan.run_count == len(runs)
+
+    def test_jobs_1_is_a_single_shard(self):
+        plan = plan_shards(_tiny_scenario().runs, 1)
+        assert len(plan.shards) == 1
+        assert plan.jobs == 1
+        assert plan.warm_runs == ()
+
+    def test_chunk_size_caps_every_shard(self):
+        plan = plan_shards(_tiny_scenario().runs, 4, chunk_size=2)
+        assert all(len(shard.runs) <= 2 for shard in plan.shards)
+        assert len(plan.shards) >= 3
+
+    def test_shards_prefer_database_group_boundaries(self):
+        # Groups of 3 runs share a database; chunk_size=3 must not mix
+        # databases inside one shard.
+        plan = plan_shards(_tiny_scenario().runs, 2, chunk_size=3)
+        for shard in plan.shards:
+            assert len({run.n_disks for run in shard.runs}) == 1
+
+    def test_warm_runs_cover_only_groups_split_across_shards(self):
+        runs = _tiny_scenario().runs
+        aligned = plan_shards(runs, 2, chunk_size=3)
+        assert aligned.warm_runs == ()
+        split = plan_shards(runs, 4, chunk_size=2)
+        # Both 3-run database groups are split over two shards each.
+        assert {run.n_disks for run in split.warm_runs} == {10, 8}
+
+    def test_warm_caches_describes_every_built_database(self):
+        from repro.mdhf.fragments import geometry_cache_info
+        from repro.scenarios import warm_caches
+
+        plan = plan_shards(_tiny_scenario().runs, 4, chunk_size=2)
+        descriptions = warm_caches(plan.warm_runs)
+        assert len(descriptions) == len(plan.warm_runs)
+        # describe() names the fragmentation and the disk/fragment scale.
+        assert all("fragments" in d and "d=" in d for d in descriptions)
+        assert geometry_cache_info()["entries"] >= 1
+
+    def test_bad_chunk_size_is_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            plan_shards(_tiny_scenario().runs, 2, chunk_size=0)
+
+    def test_empty_run_list_plans_no_shards(self):
+        plan = plan_shards([], 4)
+        assert plan.shards == ()
+        assert merge_outcomes(plan, []) == []
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def serial_report(self):
+        return ScenarioRunner(_tiny_scenario(), jobs=1).run()
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_pool_fingerprint_matches_serial(self, serial_report, jobs):
+        sharded = ScenarioRunner(_tiny_scenario(), jobs=jobs).run()
+        assert (
+            sharded.metrics_fingerprint()
+            == serial_report.metrics_fingerprint()
+        )
+        # Not only the (order-insensitive) fingerprint: the merged run
+        # order is the serial order too.
+        assert [r.run_id for r in sharded.runs] == [
+            r.run_id for r in serial_report.runs
+        ]
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 4])
+    def test_chunk_size_never_changes_the_metrics(
+        self, serial_report, chunk_size
+    ):
+        from dataclasses import replace
+
+        scenario = replace(_tiny_scenario(), chunk_size=chunk_size)
+        sharded = ScenarioRunner(scenario, jobs=3).run()
+        assert (
+            sharded.metrics_fingerprint()
+            == serial_report.metrics_fingerprint()
+        )
+
+    def test_merge_is_invariant_to_completion_order(self, serial_report):
+        plan = plan_shards(_tiny_scenario().runs, 4, chunk_size=1)
+        outcomes = [execute_shard(shard) for shard in plan.shards]
+        expected = [r.run_id for r in serial_report.runs]
+        for shuffle_seed in range(3):
+            shuffled = outcomes[:]
+            random.Random(shuffle_seed).shuffle(shuffled)
+            merged = merge_outcomes(plan, shuffled)
+            assert [r.run_id for r in merged] == expected
+
+    def test_stable_reports_are_byte_identical_across_jobs(self):
+        one = ScenarioRunner(_tiny_scenario(), jobs=1).run()
+        three = ScenarioRunner(_tiny_scenario(), jobs=3).run()
+        assert json.dumps(one.to_json_dict(stable=True)) == json.dumps(
+            three.to_json_dict(stable=True)
+        )
+
+
+class TestSeedAxis:
+    def test_seeds_replicate_the_matrix_with_suffixed_ids(self):
+        report = ScenarioRunner(
+            _tiny_scenario(), seeds=[0, 7], jobs=2
+        ).run()
+        ids = [r.run_id for r in report.runs]
+        assert len(ids) == 12
+        assert "d10_t1_s0" in ids and "d10_t1_s7" in ids
+        by_id = {r.run_id: r for r in report.runs}
+        assert by_id["d10_t1_s0"].config["seed"] == 0
+        assert by_id["d10_t1_s7"].config["seed"] == 7
+        assert (
+            by_id["d10_t1_s0"].config_hash != by_id["d10_t1_s7"].config_hash
+        )
+
+    def test_seed_axis_sharding_matches_serial(self):
+        serial = ScenarioRunner(_tiny_scenario(), seeds=[0, 7], jobs=1).run()
+        sharded = ScenarioRunner(_tiny_scenario(), seeds=[0, 7], jobs=4).run()
+        assert (
+            serial.metrics_fingerprint() == sharded.metrics_fingerprint()
+        )
+
+    def test_seed_and_seeds_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="seed or seeds"):
+            ScenarioRunner(_tiny_scenario(), seed=1, seeds=[2, 3])
+
+    def test_duplicate_and_empty_seed_lists_are_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            ScenarioRunner(_tiny_scenario(), seeds=[1, 1])
+        with pytest.raises(ValueError, match="at least one"):
+            ScenarioRunner(_tiny_scenario(), seeds=[])
+
+
+class TestErrorSurfacing:
+    def _broken_scenario(self) -> ScenarioSpec:
+        from dataclasses import replace
+
+        # The unknown query type passes RunSpec validation but raises at
+        # execution time, like any mid-run failure would.
+        return ScenarioSpec(
+            name="_shard_broken",
+            title="one poisoned point",
+            runs=(
+                _tiny_run("ok_before"),
+                replace(_tiny_run("poisoned"), query="NO_SUCH_QUERY"),
+                _tiny_run("ok_after"),
+            ),
+        )
+
+    def test_execute_shard_reports_the_failing_run_id(self):
+        plan = plan_shards(self._broken_scenario().runs, 1)
+        (shard,) = plan.shards
+        outcome = execute_shard(shard)
+        assert outcome.error is not None
+        assert outcome.error.run_id == "poisoned"
+        assert "NO_SUCH_QUERY" in outcome.error.message
+        # The point before the failure still produced its result.
+        assert [r.run_id for r in outcome.results] == ["ok_before"]
+
+    def test_merge_raises_with_the_run_id_front_and_centre(self):
+        plan = plan_shards(self._broken_scenario().runs, 1)
+        outcomes = [execute_shard(shard) for shard in plan.shards]
+        with pytest.raises(ShardExecutionError, match="poisoned") as exc:
+            merge_outcomes(plan, outcomes)
+        assert exc.value.run_id == "poisoned"
+
+    def test_worker_crash_surfaces_through_the_pool(self):
+        runner = ScenarioRunner(self._broken_scenario(), jobs=2)
+        with pytest.raises(ShardExecutionError, match="poisoned"):
+            runner.run()
+
+    @pytest.mark.skipif(
+        "fork" not in __import__("multiprocessing").get_all_start_methods()
+        or __import__("sys").platform != "linux",
+        reason="relies on fork inheriting the monkeypatch into workers",
+    )
+    def test_abruptly_dead_worker_raises_instead_of_hanging(
+        self, monkeypatch
+    ):
+        import os
+
+        import repro.scenarios.runner as runner_mod
+
+        real_execute_run = runner_mod.execute_run
+
+        def killer(run):
+            if run.run_id == "d8_t2":
+                os._exit(137)  # simulate an OOM kill, not an exception
+            return real_execute_run(run)
+
+        # Forked workers inherit the patched module attribute.
+        monkeypatch.setattr(runner_mod, "execute_run", killer)
+        runner = ScenarioRunner(_tiny_scenario(), jobs=2)
+        with pytest.raises(ShardExecutionError, match="died abruptly"):
+            runner.run()
+
+    def test_serial_failure_chains_the_original_exception(self):
+        runner = ScenarioRunner(self._broken_scenario(), jobs=1)
+        with pytest.raises(ShardExecutionError, match="poisoned") as exc:
+            runner.run()
+        # In-process execution keeps the live exception as __cause__.
+        assert isinstance(exc.value.__cause__, ValueError)
+        assert "NO_SUCH_QUERY" in str(exc.value.__cause__)
+
+    def test_merge_rejects_missing_and_unknown_outcomes(self):
+        plan = plan_shards(_tiny_scenario().runs, 4, chunk_size=2)
+        outcomes = [execute_shard(shard) for shard in plan.shards]
+        with pytest.raises(ValueError, match="missing"):
+            merge_outcomes(plan, outcomes[:-1])
+        with pytest.raises(ValueError, match="duplicate"):
+            merge_outcomes(plan, outcomes + [outcomes[0]])
+        short = ShardOutcome(index=0, results=())
+        with pytest.raises(ValueError, match="results"):
+            merge_outcomes(plan, [short] + outcomes[1:])
+
+
+class TestRunnerSurface:
+    def test_workers_is_an_alias_for_jobs(self):
+        assert ScenarioRunner(_tiny_scenario(), workers=3).jobs == 3
+        assert ScenarioRunner(_tiny_scenario(), jobs=2, workers=5).jobs == 2
+
+    def test_non_positive_jobs_are_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ScenarioRunner(_tiny_scenario(), jobs=0)
+
+    def test_unshardable_scenario_plans_serially(self):
+        from dataclasses import replace
+
+        scenario = replace(_tiny_scenario(), shardable=False)
+        plan = ScenarioRunner(scenario, jobs=8).plan()
+        assert len(plan.shards) == 1
+        assert plan.jobs == 1
