@@ -267,6 +267,48 @@ class DiskAllocation:
             pages=min(pages, self._bitmap_unit_pages),
         )
 
+    def bitmap_cluster_locations(
+        self,
+        units: np.ndarray,
+        fragments_selected: np.ndarray,
+        n_bitmaps: int,
+    ) -> tuple[list[list[int]], list[list[int]], list[int]]:
+        """Vectorised :meth:`bitmap_cluster_placement` over many units.
+
+        For ``units[g]`` with ``fragments_selected[g]`` selected
+        fragments, returns ``(disks, starts, pages)`` where
+        ``disks[g][bi]`` / ``starts[g][bi]`` locate bitmap ``bi``'s
+        packed extent of cluster ``g`` and ``pages[g]`` is its length
+        (identical for every bitmap of one cluster).  The element
+        operations mirror the scalar method exactly, so placements are
+        identical; ``units`` must already be validated (the caller
+        derives them from geometry-checked fragment ids).
+        """
+        self._check_bitmap(n_bitmaps - 1)
+        n_disks = self.n_disks
+        counts = np.minimum(fragments_selected, self.cluster_factor)
+        pages = np.minimum(
+            np.maximum(
+                np.ceil(
+                    counts * self._bitmap_raw_bytes / self.page_size
+                ).astype(np.int64),
+                1,
+            ),
+            self._bitmap_unit_pages,
+        ).tolist()
+        slots = units // n_disks
+        start_base = self._fact_region_pages + slots * self._bitmap_unit_pages
+        base_disks = (units + slots) % n_disks if self._gap else units % n_disks
+        disks = np.empty((units.size, n_bitmaps), dtype=np.int64)
+        starts = np.empty((units.size, n_bitmaps), dtype=np.int64)
+        for bitmap_index in range(n_bitmaps):
+            offset = 1 + bitmap_index if self.staggered else 1
+            disks[:, bitmap_index] = (base_disks + offset) % n_disks
+            starts[:, bitmap_index] = (
+                start_base + bitmap_index * self._bitmap_subregion_pages
+            )
+        return disks.tolist(), starts.tolist(), pages
+
     def _bitmap_disk(self, unit: int, bitmap_index: int) -> int:
         base = self._unit_disk(unit)
         if self.staggered:

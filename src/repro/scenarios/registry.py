@@ -228,9 +228,10 @@ register(
             "group_deg20", "group_deg100", "class_deg20", "class_deg100",
             "code_deg100",
         ),
-        # The F_MonthCode points are orders of magnitude slower than the
-        # group/class points; chunk per-point so they don't pile up
-        # behind one worker.
+        # The F_MonthCode points are still ~10x slower than the
+        # group/class points (even on the PR 5 fast path) and the code
+        # degrees share one database group, so without chunk_size=1 the
+        # planner would pile them up behind one worker.
         chunk_size=1,
     )
 )
@@ -331,9 +332,9 @@ register(
             )
         ),
         fast_run_ids=("cluster8", "cluster32"),
-        # Each clustered expansion takes several seconds on its own, so
-        # one point per shard keeps the pool load-balanced.
-        chunk_size=1,
+        # No chunk_size=1 crutch: every point has its own cluster_factor
+        # and therefore its own database group, so the shard planner
+        # already gives each point its own shard.
     )
 )
 

@@ -562,6 +562,12 @@ class ScenarioRunner:
         #: Optional ``callback(descriptions)`` fired after the pre-fork
         #: cache warm-up, with one description line per built database.
         self.on_warm = on_warm
+        if self.scenario.kind != KIND_STATIC:
+            # Validate the run selection eagerly: unknown run ids and an
+            # empty selection raise ValueError here, in the caller's
+            # stack frame, instead of mid-sweep (or — for an empty
+            # ``run_ids`` list — silently producing a zero-run report).
+            self._runs()
 
     def _runs(self) -> list[RunSpec]:
         from dataclasses import replace
@@ -588,6 +594,12 @@ class ScenarioRunner:
                 for run in runs
                 for seed in self.seeds
             ]
+        if not runs:
+            raise ValueError(
+                f"scenario {self.scenario.name!r} selected no run points "
+                f"(run_ids={self.run_ids!r}, fast={self.fast}); a report "
+                f"must cover at least one run"
+            )
         return runs
 
     def plan(self):

@@ -222,7 +222,11 @@ class ScenarioSpec:
     #: Max run points per shard; ``None`` lets the planner derive one
     #: from the matrix size and the pool width.  Set it to 1 for
     #: scenarios whose individual points are so heavy that grouping them
-    #: would serialise most of the sweep behind one worker.
+    #: would serialise most of the sweep behind one worker — but only
+    #: when those points share a database group: the planner already
+    #: aligns shard boundaries with database groups, so points with
+    #: distinct physical databases (different fragmentation, disk count,
+    #: cluster factor or skew) never need the crutch.
     chunk_size: int | None = None
 
     def __post_init__(self) -> None:

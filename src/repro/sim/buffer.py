@@ -25,6 +25,12 @@ from repro.sim.config import BufferParameters
 #: pages are bounded by the disk capacity (~2^20 pages by default).
 _DISK_SHIFT = 44
 _MAX_START = 1 << _DISK_SHIFT
+#: Bits left for the disk id above the start-page bits (the packed key
+#: stays within one signed 64-bit word).  A negative or over-wide disk
+#: id would silently alias another disk's extents in the packed key, so
+#: both are rejected.
+_DISK_BITS = 19
+_MAX_DISK = 1 << _DISK_BITS
 
 
 class BufferPool:
@@ -56,6 +62,11 @@ class BufferPool:
     def _key(disk: int, start_page: int) -> int:
         if not 0 <= start_page < _MAX_START:
             raise ValueError(f"start page {start_page} out of range")
+        if not 0 <= disk < _MAX_DISK:
+            raise ValueError(
+                f"disk id {disk} out of range [0, {_MAX_DISK}): it would "
+                f"alias another disk's extents in the packed key"
+            )
         return (disk << _DISK_SHIFT) | start_page
 
     def lookup(self, disk: int, start_page: int) -> bool:
@@ -140,6 +151,11 @@ class BufferPool:
                 for _offset, pages in extents:
                     total_pages += pages
             return extents, total_pages
+        if not 0 <= disk < _MAX_DISK:
+            raise ValueError(
+                f"disk id {disk} out of range [0, {_MAX_DISK}): it would "
+                f"alias another disk's extents in the packed key"
+            )
         entries = self._entries
         move_to_end = entries.move_to_end
         capacity = self.capacity_pages
@@ -173,6 +189,35 @@ class BufferPool:
         self._used_pages = used
         return to_read, read_pages
 
+    def probe_many(
+        self,
+        disks: list[int],
+        bases: list[int],
+        extents: list[tuple[int, int]],
+        total_pages: int,
+    ) -> list[tuple[list[tuple[int, int]], int]] | None:
+        """Bulk :meth:`access_extents` over groups sharing one template.
+
+        Probes the ``(disks[i], bases[i])`` extent groups in order, each
+        reading the shared relative ``extents`` (``total_pages`` is
+        their page sum) — the layout of a work unit's bitmap reads.
+        Hit/miss counts and the LRU state evolve exactly as per-group
+        :meth:`access_extents` calls would.  Returns one ``(to_read,
+        read_pages)`` pair per group — or ``None`` from a counting-only
+        pool, whose distinct accesses can never hit: the caller reads
+        every group in full (``None`` spares the hot path one result
+        tuple per group; the misses are counted here).
+        """
+        if self.count_only:
+            # Distinct accesses can only miss: everything is read.
+            self.misses += len(extents) * len(disks)
+            return None
+        access_extents = self.access_extents
+        return [
+            access_extents(disk, extents, base, total_pages)
+            for disk, base in zip(disks, bases)
+        ]
+
     @property
     def used_pages(self) -> int:
         return self._used_pages
@@ -202,7 +247,15 @@ class BufferManager:
         each fragment once, extents within a fragment are disjoint, and
         fact/bitmap placements of different fragments never share a
         (disk, start page) key — so no access can ever hit and the LRU
-        state is unobservable.  Multi-query streams must NOT use this.
+        state is unobservable.  This covers the clustered expansion too
+        (Section 6.3): each allocation unit appears in exactly one
+        multi-fragment cluster subquery, the cluster's fact extents come
+        from disjoint reserved fragment ranges, and every packed bitmap
+        extent is keyed by its own (unit slot, bitmap subregion) — and
+        the skewed expansion, whose fragments keep their uniformly
+        reserved slots.  The disjointness is pinned per path by
+        tests/sim/test_clustered_fastpath.py.  Multi-query streams must
+        NOT use this.
         """
         self.fact.count_only = True
         self.bitmap.count_only = True

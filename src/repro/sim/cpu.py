@@ -13,6 +13,9 @@ from heapq import heappush
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import FifoServer
 
+#: ``Event.__new__``, bound once for the inlined allocation below.
+_EVENT_NEW = Event.__new__
+
 
 class ProcessingNode(FifoServer):
     """One Shared Disk processing node's CPU."""
@@ -41,7 +44,12 @@ class ProcessingNode(FifoServer):
         self.instructions += int(instructions)
         duration = instructions / self._per_second
         env = self.env
-        done = Event(env)
+        # Event(env), field stores inlined (see disk.read_validated).
+        done = _EVENT_NEW(Event)
+        done.env = env
+        done.callbacks = None
+        done.triggered = False
+        done.value = None
         if self._busy:
             self._queue.append((duration, done, None, env._now))
         else:
@@ -49,7 +57,7 @@ class ProcessingNode(FifoServer):
             env._seq = seq = env._seq + 1
             heappush(
                 env._heap,
-                (env._now + duration, seq, self._complete,
+                (env._now + duration, seq, self._complete_cb,
                  (done, None, duration)),
             )
         return done

@@ -31,7 +31,7 @@ from repro.schema.fact import StarSchema
 from repro.sim.config import SimulationParameters
 
 
-@dataclass
+@dataclass(slots=True)
 class SubqueryWork:
     """Everything one subquery (one fact fragment or cluster) must do.
 
@@ -40,9 +40,15 @@ class SubqueryWork:
     reserved extent starts), so templates — including their grouping
     into ``io_coalesce`` disk-request batches and the page sums per
     batch — are built once and shared by every subquery, instead of
-    materialising per-fragment absolute extent lists.  The
-    :attr:`fact_extents` / :attr:`bitmap_reads` properties provide the
-    absolute view.
+    materialising per-fragment absolute extent lists.
+
+    Bitmap reads are stored structure-of-arrays: every bitmap fragment
+    of one subquery shares the same relative extent template and page
+    count, so only the per-bitmap ``(disk, base page)`` pairs vary —
+    keeping them in two parallel lists avoids materialising one tuple
+    per bitmap read (millions under fine fragmentations).  The
+    :attr:`bitmap_reads_rel` / :attr:`bitmap_reads` /
+    :attr:`fact_extents` properties provide the tuple views.
     """
 
     fragment_id: int
@@ -53,12 +59,19 @@ class SubqueryWork:
     #: ``io_coalesce`` group, in fragment order.
     fact_batches: list[tuple[list[tuple[int, int]], int]]
     fact_pages: int
-    #: One (disk, base page, relative extents, total pages) entry per
-    #: bitmap fragment to read.
-    bitmap_reads_rel: list[tuple[int, int, list[tuple[int, int]], int]]
+    #: Disks of the bitmap fragments to read, in bitmap-index order.
+    bitmap_disks: list[int]
+    #: Base pages of the bitmap fragments, parallel to ``bitmap_disks``.
+    bitmap_starts: list[int]
+    #: Relative extent template shared by every bitmap read.
+    bitmap_extents: list[tuple[int, int]]
+    #: Pages of one bitmap read (the template's page sum).
+    bitmap_pages_per_read: int
     bitmap_pages: int
     #: Rows this subquery extracts and aggregates.
     relevant_rows: int
+    #: Fact extents across all batches (``sum(len(batch))``).
+    fact_extent_count: int = 0
     #: Fact fragments covered (> 1 under Section 6.3 clustering).
     fragment_count: int = 1
 
@@ -70,6 +83,17 @@ class SubqueryWork:
             (base + offset, pages)
             for batch, _pages in self.fact_batches
             for offset, pages in batch
+        ]
+
+    @property
+    def bitmap_reads_rel(self) -> list[tuple[int, int, list[tuple[int, int]], int]]:
+        """Tuple view: one (disk, base page, relative extents, total
+        pages) entry per bitmap fragment to read."""
+        extents = self.bitmap_extents
+        pages = self.bitmap_pages_per_read
+        return [
+            (disk, start, extents, pages)
+            for disk, start in zip(self.bitmap_disks, self.bitmap_starts)
         ]
 
     @property
@@ -92,11 +116,27 @@ def batch_extents(
     return batches
 
 
+#: Epsilon terms of the spreader's floor guard.  ``rate * count`` is
+#: one multiply away from the intended rational target ``k * T / n``,
+#: so its error is bounded by ~1 ulp *relative* to the product.  The
+#: absolute 1e-9 alone stops compensating once the product exceeds
+#: ~4.5e6 (its ulp outgrows the epsilon) and running totals silently
+#: drop below the requested total; the relative term (a few ulps wide)
+#: keeps the guard effective at any magnitude without promoting any
+#: legitimately fractional target.
+_SPREAD_EPS_ABS = 1e-9
+_SPREAD_EPS_REL = 2.0 ** -50
+
+
 class _Spreader:
     """Integerise a constant per-item rate without drift.
 
     Emits integers whose running sum tracks ``rate * items_emitted``
     (Bresenham-style), so 112.5 hits/fragment alternates 112/113.
+    The running sum after ``k`` items is exactly the floor-guarded
+    target of ``rate * k`` (telescoping), so totals match the analytic
+    model for any rate — including rates of the form ``total / n``
+    whose float products land an ulp under the integer total.
     """
 
     def __init__(self, rate: float):
@@ -108,25 +148,34 @@ class _Spreader:
 
     def next(self) -> int:
         self._count += 1
-        target = math.floor(self._rate * self._count + 1e-9)
+        product = self._rate * self._count
+        target = math.floor(
+            product + (product * _SPREAD_EPS_REL + _SPREAD_EPS_ABS)
+        )
         value = target - self._emitted
         self._emitted = target
         return value
 
 
-def _spread_counts(rate: float, n: int) -> list[int]:
-    """The first ``n`` values of ``_Spreader(rate)``, vectorised.
+def _spread_count_array(rate: float, n: int) -> np.ndarray:
+    """The first ``n`` values of ``_Spreader(rate)`` as an int64 array.
 
-    Element operations (multiply, add epsilon, floor) are the same
+    Element operations (multiply, epsilon guard, floor) are the same
     IEEE-754 operations the scalar spreader performs, so the integer
     sequence is identical.
     """
     if rate < 0:
         raise ValueError("rate must be non-negative")
+    products = rate * np.arange(1, n + 1, dtype=np.float64)
     targets = np.floor(
-        rate * np.arange(1, n + 1, dtype=np.float64) + 1e-9
+        products + (products * _SPREAD_EPS_REL + _SPREAD_EPS_ABS)
     ).astype(np.int64)
-    return np.diff(targets, prepend=0).tolist()
+    return np.diff(targets, prepend=0)
+
+
+def _spread_counts(rate: float, n: int) -> list[int]:
+    """The first ``n`` values of ``_Spreader(rate)``, vectorised."""
+    return _spread_count_array(rate, n).tolist()
 
 
 class SimulatedDatabase:
@@ -254,12 +303,11 @@ class SimulatedDatabase:
         # handful of distinct hit-granule counts each get one template,
         # pre-grouped into io_coalesce disk-request batches.
         coalesce = self.params.io_coalesce
-        full_batches = batch_extents(
-            self._sequential_extents(0, pages_per_fragment, prefetch),
-            coalesce,
-        )
+        full_extents = self._sequential_extents(0, pages_per_fragment, prefetch)
+        full_batches = batch_extents(full_extents, coalesce)
+        full_extent_count = len(full_extents)
         spread_batches: dict[
-            int, tuple[list[tuple[list[tuple[int, int]], int]], int]
+            int, tuple[list[tuple[list[tuple[int, int]], int]], int, int]
         ] = {}
 
         n_bitmaps = plan.bitmaps_per_fragment
@@ -271,21 +319,30 @@ class SimulatedDatabase:
             0, bitmap_pages_per_fragment, bitmap_granule
         )
         bitmap_pages_total = n_bitmaps * bitmap_pages_per_fragment
-        bitmap_locations = [
-            (disks.tolist(), starts.tolist())
-            for disks, starts in (
+        if n_bitmaps:
+            located = [
                 allocation.bitmap_locations(index, fragment_ids)
                 for index in range(n_bitmaps)
-            )
-        ]
+            ]
+            # Transpose to one (disks, starts) row per fragment, so the
+            # work units borrow ready-made rows instead of building one
+            # tuple per bitmap read.
+            bitmap_disk_rows = np.stack(
+                [disks for disks, _starts in located], axis=1
+            ).tolist()
+            bitmap_start_rows = np.stack(
+                [starts for _disks, starts in located], axis=1
+            ).tolist()
 
         fragment_id_list = fragment_ids.tolist()
         fact_disk_list = fact_disks.tolist()
         fact_start_list = fact_starts.tolist()
+        empty: list = []
         for i, fragment_id in enumerate(fragment_id_list):
             if counts is None:
                 batches = full_batches
                 fact_pages = pages_per_fragment
+                extent_count = full_extent_count
             else:
                 count = counts[i]
                 cached = spread_batches.get(count)
@@ -300,19 +357,10 @@ class SimulatedDatabase:
                     cached = (
                         batch_extents(template, coalesce),
                         sum(pages for _, pages in template),
+                        len(template),
                     )
                     spread_batches[count] = cached
-                batches, fact_pages = cached
-
-            bitmap_reads = [
-                (
-                    disks[i],
-                    starts[i],
-                    bitmap_template,
-                    bitmap_pages_per_fragment,
-                )
-                for disks, starts in bitmap_locations
-            ]
+                batches, fact_pages, extent_count = cached
 
             yield SubqueryWork(
                 fragment_id=fragment_id,
@@ -320,9 +368,13 @@ class SimulatedDatabase:
                 fact_start=fact_start_list[i],
                 fact_batches=batches,
                 fact_pages=fact_pages,
-                bitmap_reads_rel=bitmap_reads,
+                bitmap_disks=bitmap_disk_rows[i] if n_bitmaps else empty,
+                bitmap_starts=bitmap_start_rows[i] if n_bitmaps else empty,
+                bitmap_extents=bitmap_template,
+                bitmap_pages_per_read=bitmap_pages_per_fragment,
                 bitmap_pages=bitmap_pages_total,
                 relevant_rows=relevants[i],
+                fact_extent_count=extent_count,
             )
 
     #: Refuse to materialise per-fragment skew arrays beyond this size.
@@ -357,79 +409,137 @@ class SimulatedDatabase:
             tuples[order[:deficit]] += 1
         return tuples
 
+    def _skewed_template(
+        self, tuples: int, plan: QueryPlan
+    ) -> tuple[
+        list[tuple[list[tuple[int, int]], int]],
+        int,
+        int,
+        int,
+        list[tuple[int, int]],
+        int,
+    ]:
+        """Fragment-population-keyed work template for the skewed path.
+
+        Everything one skewed subquery does — fact batches, page totals,
+        relevant rows, bitmap extents — depends only on the fragment's
+        tuple count (given the plan), not on where the fragment lives.
+        Extents are base-relative, so fragments with equal populations
+        share one template exactly like the uniform path's fragments
+        share theirs.  Returns ``(fact_batches, fact_pages,
+        fact_extent_count, relevant, bitmap_extents,
+        bitmap_pages_per_fragment)``.
+        """
+        buffer = self.params.buffer
+        prefetch = buffer.prefetch_fact_pages
+        pages = math.ceil(tuples / self._tuples_per_page)
+        granules = math.ceil(pages / prefetch) if pages else 0
+
+        if plan.all_rows_relevant:
+            relevant = tuples
+            extents = self._sequential_extents(0, pages, prefetch)
+        else:
+            relevant = round(
+                plan.hits_per_fragment * tuples / self._tuples_per_fragment
+            )
+            hit_pages = (
+                cardenas(pages, relevant) if pages and relevant else 0.0
+            )
+            hit_granules = (
+                round(min(float(granules), cardenas(granules, hit_pages)))
+                if granules and hit_pages
+                else 0
+            )
+            extents = self._spread_extents(
+                0, pages, prefetch, granules, hit_granules
+            )
+
+        extents_b: list[tuple[int, int]] = []
+        fragment_bitmap_pages = 0
+        if plan.bitmaps_per_fragment and tuples:
+            raw_pages = tuples / 8 / buffer.page_size
+            fragment_bitmap_pages = max(1, math.ceil(raw_pages))
+            granule = buffer.prefetch_bitmap_pages
+            if buffer.adaptive_bitmap_prefetch:
+                granule = max(1, min(granule, math.ceil(raw_pages)))
+            extents_b = self._sequential_extents(
+                0, fragment_bitmap_pages, granule
+            )
+
+        return (
+            batch_extents(extents, self.params.io_coalesce),
+            sum(p for _, p in extents),
+            len(extents),
+            relevant,
+            extents_b,
+            fragment_bitmap_pages,
+        )
+
     def _iter_skewed_work(self, plan: QueryPlan) -> Iterator[SubqueryWork]:
         """Per-fragment expansion with skewed fragment populations.
 
         Hits scale with each fragment's population (uniformity *within*
         fragments is kept); I/O geometry follows each fragment's actual
-        page count inside its uniformly reserved extent.
+        page count inside its uniformly reserved extent.  Placements are
+        computed with the vectorised allocation lookups and the
+        per-fragment work comes from population-keyed shared templates
+        (:meth:`_skewed_template`), mirroring the uniform fast path.
         """
         assert self._skew_tuples is not None
-        buffer = self.params.buffer
-        prefetch = buffer.prefetch_fact_pages
-        page_size = buffer.page_size
-        avg_tuples = self._tuples_per_fragment
         n_bitmaps = plan.bitmaps_per_fragment
 
-        for fragment_id in plan.iter_fragment_ids(self.geometry):
-            tuples = int(self._skew_tuples[fragment_id])
-            fact = self.allocation.fact_placement(fragment_id)
-            pages = math.ceil(tuples / self._tuples_per_page)
-            granules = math.ceil(pages / prefetch) if pages else 0
+        ids = plan.fragment_id_array(self.geometry)
+        if not ids.size:
+            return
+        allocation = self.allocation
+        fact_disks, fact_starts = allocation.fact_locations(ids)
+        id_list = ids.tolist()
+        fact_disk_list = fact_disks.tolist()
+        fact_start_list = fact_starts.tolist()
+        if n_bitmaps:
+            located = [
+                allocation.bitmap_locations(index, ids)
+                for index in range(n_bitmaps)
+            ]
+            bitmap_disk_rows = np.stack(
+                [disks for disks, _starts in located], axis=1
+            ).tolist()
+            bitmap_start_rows = np.stack(
+                [starts for _disks, starts in located], axis=1
+            ).tolist()
+        tuple_counts = self._skew_tuples[ids].tolist()
 
-            if plan.all_rows_relevant:
-                relevant = tuples
-                extents = self._sequential_extents(
-                    fact.start_page, pages, prefetch
-                )
-            else:
-                relevant = round(plan.hits_per_fragment * tuples / avg_tuples)
-                hit_pages = (
-                    cardenas(pages, relevant) if pages and relevant else 0.0
-                )
-                hit_granules = (
-                    round(min(float(granules), cardenas(granules, hit_pages)))
-                    if granules and hit_pages
-                    else 0
-                )
-                extents = self._spread_extents(
-                    fact.start_page, pages, prefetch, granules, hit_granules
-                )
+        empty: list = []
+        templates: dict[int, tuple] = {}
+        for i, fragment_id in enumerate(id_list):
+            tuples = tuple_counts[i]
+            template = templates.get(tuples)
+            if template is None:
+                template = self._skewed_template(tuples, plan)
+                templates[tuples] = template
+            (
+                fact_batches,
+                fact_pages,
+                fact_extent_count,
+                relevant,
+                extents_b,
+                fragment_bitmap_pages,
+            ) = template
 
-            bitmap_reads = []
-            bitmap_pages = 0
-            if n_bitmaps and tuples:
-                raw_pages = tuples / 8 / page_size
-                fragment_bitmap_pages = max(1, math.ceil(raw_pages))
-                granule = buffer.prefetch_bitmap_pages
-                if buffer.adaptive_bitmap_prefetch:
-                    granule = max(1, min(granule, math.ceil(raw_pages)))
-                extents_b = self._sequential_extents(
-                    0, fragment_bitmap_pages, granule
-                )
-                for bitmap_index in range(n_bitmaps):
-                    placement = self.allocation.bitmap_placement(
-                        bitmap_index, fragment_id
-                    )
-                    bitmap_reads.append(
-                        (
-                            placement.disk,
-                            placement.start_page,
-                            extents_b,
-                            fragment_bitmap_pages,
-                        )
-                    )
-                    bitmap_pages += fragment_bitmap_pages
-
+            has_bitmaps = fragment_bitmap_pages > 0
             yield SubqueryWork(
                 fragment_id=fragment_id,
-                fact_disk=fact.disk,
-                fact_start=0,
-                fact_batches=batch_extents(extents, self.params.io_coalesce),
-                fact_pages=sum(p for _, p in extents),
-                bitmap_reads_rel=bitmap_reads,
-                bitmap_pages=bitmap_pages,
+                fact_disk=fact_disk_list[i],
+                fact_start=fact_start_list[i],
+                fact_batches=fact_batches,
+                fact_pages=fact_pages,
+                bitmap_disks=bitmap_disk_rows[i] if has_bitmaps else empty,
+                bitmap_starts=bitmap_start_rows[i] if has_bitmaps else empty,
+                bitmap_extents=extents_b,
+                bitmap_pages_per_read=fragment_bitmap_pages,
+                bitmap_pages=fragment_bitmap_pages * n_bitmaps,
                 relevant_rows=relevant,
+                fact_extent_count=fact_extent_count,
             )
 
     def _iter_clustered_work(self, plan: QueryPlan) -> Iterator[SubqueryWork]:
@@ -438,6 +548,14 @@ class SimulatedDatabase:
         The bitmap fragments of the cluster's fragments are packed into
         consecutive pages and read as one extent — the paper's remedy
         for bitmap fragments below one page (Section 6.3).
+
+        Per-fragment extent templates (identical to the uniform path's)
+        are assembled into per-cluster absolute extent arrays in one
+        numpy pass over the whole plan, and the ``io_coalesce`` batch
+        boundaries and their page sums are derived globally — the
+        per-cluster Python work is reduced to slicing the shared arrays.
+        Cluster bitmap placements come from the allocation's vectorised
+        :meth:`~repro.allocation.placement.DiskAllocation.bitmap_cluster_locations`.
         """
         buffer = self.params.buffer
         prefetch = buffer.prefetch_fact_pages
@@ -448,7 +566,7 @@ class SimulatedDatabase:
         n_selected = ids.size
         if not n_selected:
             return
-        relevants = _spread_counts(plan.hits_per_fragment, n_selected)
+        relevants = _spread_count_array(plan.hits_per_fragment, n_selected)
         counts = None
         if not plan.all_rows_relevant:
             hit_pages = distinct_blocks(
@@ -460,82 +578,159 @@ class SimulatedDatabase:
                 float(granules_per_fragment),
                 cardenas(granules_per_fragment, hit_pages),
             )
-            counts = _spread_counts(hit_granules, n_selected)
+            counts = _spread_count_array(hit_granules, n_selected)
 
         allocation = self.allocation
-        fact_disks, fact_starts = allocation.fact_locations(ids)
-        fact_disk_list = fact_disks.tolist()
-        fact_start_list = fact_starts.tolist()
-        id_list = ids.tolist()
+        _fact_disks, fact_starts = allocation.fact_locations(ids)
         units = ids // self.params.cluster_factor
         # Group boundaries: consecutive runs of equal allocation unit.
-        boundaries = (np.flatnonzero(np.diff(units)) + 1).tolist()
-        group_starts = [0] + boundaries
-        group_ends = boundaries + [n_selected]
-        unit_list = units.tolist()
+        boundaries = np.flatnonzero(np.diff(units)) + 1
+        group_starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries))
+        group_ends = np.concatenate(
+            (boundaries, np.asarray([n_selected], dtype=np.int64))
+        )
+        n_groups = group_starts.size
 
-        coalesce = self.params.io_coalesce
+        # Per-fragment extent templates: the full-scan template, or one
+        # spread template per distinct hit-granule count (the spreader
+        # emits at most two distinct counts per plan).
         full_template = self._sequential_extents(
             0, pages_per_fragment, prefetch
         )
-        spread_templates: dict[int, list[tuple[int, int]]] = {}
-        n_bitmaps = plan.bitmaps_per_fragment
+        if counts is None:
+            distinct = [(None, full_template)]
+            template_of = np.zeros(n_selected, dtype=np.int64)
+        else:
+            values = np.unique(counts)
+            distinct = [
+                (
+                    count,
+                    self._spread_extents(
+                        0,
+                        pages_per_fragment,
+                        prefetch,
+                        granules_per_fragment,
+                        count,
+                    ),
+                )
+                for count in values.tolist()
+            ]
+            template_of = np.searchsorted(values, counts)
+        lengths_of = np.asarray(
+            [len(template) for _count, template in distinct], dtype=np.int64
+        )
+        lengths = lengths_of[template_of]
+        ext_pos = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(lengths))
+        )
+        total_extents = int(ext_pos[-1])
 
-        for group_start, group_end in zip(group_starts, group_ends):
-            fact_extents: list[tuple[int, int]] = []
-            fact_pages = 0
-            relevant = 0
-            for i in range(group_start, group_end):
-                start_page = fact_start_list[i]
-                relevant += relevants[i]
-                if counts is None:
-                    template = full_template
-                    pages = pages_per_fragment
-                else:
-                    count = counts[i]
-                    template = spread_templates.get(count)
-                    if template is None:
-                        template = self._spread_extents(
-                            0,
-                            pages_per_fragment,
-                            prefetch,
-                            granules_per_fragment,
-                            count,
-                        )
-                        spread_templates[count] = template
-                    pages = sum(p for _, p in template)
-                fact_extents.extend(
-                    (start_page + offset, extent_pages)
-                    for offset, extent_pages in template
+        # Scatter each fragment's template (offsets and page counts)
+        # into the global extent arrays, then add the fragment bases.
+        offsets = np.empty(total_extents, dtype=np.int64)
+        extent_pages = np.empty(total_extents, dtype=np.int64)
+        for index, (_count, template) in enumerate(distinct):
+            length = int(lengths_of[index])
+            if not length:
+                continue
+            mask = template_of == index
+            slots = (
+                ext_pos[:-1][mask][:, None]
+                + np.arange(length, dtype=np.int64)
+            ).ravel()
+            reps = int(mask.sum())
+            array = np.asarray(template, dtype=np.int64)
+            offsets[slots] = np.tile(array[:, 0], reps)
+            extent_pages[slots] = np.tile(array[:, 1], reps)
+        abs_starts = np.repeat(fact_starts, lengths) + offsets
+
+        # io_coalesce batch boundaries, globally: batches tile each
+        # cluster's contiguous extent range, so one reduceat over the
+        # batch starts yields every batch's page sum (and one over the
+        # cluster starts every cluster's page total) exactly.
+        coalesce = self.params.io_coalesce
+        group_ext_starts = ext_pos[group_starts]
+        group_ext_ends = ext_pos[group_ends]
+        extent_counts = group_ext_ends - group_ext_starts
+        batches_per_group = -(-extent_counts // coalesce)
+        batch_prefix = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(batches_per_group))
+        )
+        total_batches = int(batch_prefix[-1])
+        within = (
+            np.arange(total_batches, dtype=np.int64)
+            - np.repeat(batch_prefix[:-1], batches_per_group)
+        )
+        batch_starts = (
+            np.repeat(group_ext_starts, batches_per_group) + within * coalesce
+        )
+        # Segment sums via cumulative sums (exact for integers, and —
+        # unlike ``reduceat`` — correct for empty segments, which arise
+        # when every fragment of a cluster has zero hit granules).
+        page_cumsum = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(extent_pages))
+        )
+        batch_ends = np.concatenate(
+            (batch_starts[1:], np.asarray([total_extents], dtype=np.int64))
+        )
+        batch_page_sums = (
+            page_cumsum[batch_ends] - page_cumsum[batch_starts]
+        ).tolist()
+        group_fact_pages = (
+            page_cumsum[group_ext_ends] - page_cumsum[group_ext_starts]
+        ).tolist()
+        batch_ends = batch_ends.tolist()
+        batch_start_list = batch_starts.tolist()
+        extent_list = np.stack((abs_starts, extent_pages), axis=1).tolist()
+
+        relevant_cumsum = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(relevants))
+        )
+        group_relevant = (
+            relevant_cumsum[group_ends] - relevant_cumsum[group_starts]
+        ).tolist()
+        group_units = units[group_starts]
+        selected = (group_ends - group_starts).tolist()
+        group_ids = ids[group_starts].tolist()
+        group_fact_disks = _fact_disks[group_starts].tolist()
+        batch_first = batch_prefix[:-1].tolist()
+        batch_last = batch_prefix[1:].tolist()
+
+        n_bitmaps = plan.bitmaps_per_fragment
+        if n_bitmaps:
+            bitmap_disk_rows, bitmap_start_rows, cluster_pages = (
+                allocation.bitmap_cluster_locations(
+                    group_units, group_ends - group_starts, n_bitmaps
                 )
-                fact_pages += pages
-            unit = unit_list[group_start]
-            selected_in_group = group_end - group_start
-            bitmap_reads = []
-            bitmap_pages = 0
-            for bitmap_index in range(n_bitmaps):
-                placement = allocation.bitmap_cluster_placement(
-                    bitmap_index, unit, fragments_selected=selected_in_group
+            )
+        else:
+            cluster_pages = [0] * n_groups
+
+        group_extent_counts = extent_counts.tolist()
+        empty: list = []
+        for g in range(n_groups):
+            fact_batches = [
+                (
+                    extent_list[batch_start_list[b] : batch_ends[b]],
+                    batch_page_sums[b],
                 )
-                bitmap_reads.append(
-                    (
-                        placement.disk,
-                        placement.start_page,
-                        [(0, placement.pages)],
-                        placement.pages,
-                    )
-                )
-                bitmap_pages += placement.pages
+                for b in range(batch_first[g], batch_last[g])
+            ]
+            pages = cluster_pages[g]
             yield SubqueryWork(
-                fragment_id=id_list[group_start],
-                fact_disk=fact_disk_list[group_start],
+                fragment_id=group_ids[g],
+                fact_disk=group_fact_disks[g],
                 fact_start=0,
-                fact_batches=batch_extents(fact_extents, coalesce),
-                fact_pages=fact_pages,
-                bitmap_reads_rel=bitmap_reads,
-                bitmap_pages=bitmap_pages,
-                relevant_rows=relevant,
-                fragment_count=selected_in_group,
+                fact_batches=fact_batches,
+                fact_pages=group_fact_pages[g],
+                bitmap_disks=bitmap_disk_rows[g] if n_bitmaps else empty,
+                bitmap_starts=bitmap_start_rows[g] if n_bitmaps else empty,
+                bitmap_extents=[(0, pages)] if n_bitmaps else empty,
+                bitmap_pages_per_read=pages,
+                bitmap_pages=pages * n_bitmaps,
+                relevant_rows=group_relevant[g],
+                fact_extent_count=group_extent_counts[g],
+                fragment_count=selected[g],
             )
 
     @staticmethod

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 from heapq import heappush
+from math import sqrt as _sqrt
 from typing import Sequence
 
 import numpy as np
@@ -29,6 +30,9 @@ import numpy as np
 from repro.sim.config import DiskParameters
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import FifoServer
+
+#: ``Event.__new__``, bound once for the inlined allocations below.
+_EVENT_NEW = Event.__new__
 
 #: E[sqrt(|x-y|)] for independent uniform x, y on [0, 1].
 _MEAN_SQRT_DISTANCE = 8.0 / 15.0
@@ -114,25 +118,32 @@ class Disk(FifoServer):
 
         For callers (the subquery scheduler) that construct the extent
         list themselves and already track its page sum.  ``extents`` may
-        be offsets against ``base`` (shared extent templates).  The
-        ``(base, extents)`` pair is the queued service form —
-        :meth:`_price` routes it to :meth:`_service` without a closure
-        per request.  This inlines :meth:`FifoServer.submit` for the
-        idle-server case (service times are non-negative sums of seek,
-        settle and transfer components, so the negativity check of the
-        generic path is vacuous here).
+        be offsets against ``base`` (shared extent templates).  Queued
+        requests use the flat ``(extents, done, total_pages, enqueued,
+        base)`` form that :meth:`_complete` prices inline — no closure
+        and no nested service tuple per request.  This inlines
+        :meth:`FifoServer.submit` for the idle-server case (service
+        times are non-negative sums of seek, settle and transfer
+        components, so the negativity check of the generic path is
+        vacuous here).
         """
         env = self.env
-        done = Event(env)
+        # Event(env), field stores inlined: no __init__ frame on the
+        # hottest allocation site of bitmap-heavy plans.
+        done = _EVENT_NEW(Event)
+        done.env = env
+        done.callbacks = None
+        done.triggered = False
+        done.value = None
         if self._busy:
-            self._queue.append(((base, extents), done, total_pages, env._now))
+            self._queue.append((extents, done, total_pages, env._now, base))
         else:
             self._busy = True
             duration = self._service(extents, base)
             env._seq = seq = env._seq + 1
             heappush(
                 env._heap,
-                (env._now + duration, seq, self._complete,
+                (env._now + duration, seq, self._complete_cb,
                  (done, total_pages, duration)),
             )
         return done
@@ -142,9 +153,120 @@ class Disk(FifoServer):
             return self._service(service[1], service[0])
         return service() if callable(service) else service
 
+    def _complete(self, entry) -> None:
+        """:meth:`FifoServer._complete` with the disk's flat queued form
+        ``(extents, done, total_pages, enqueued, base)`` priced inline
+        (the hot case on saturated disks); 4-tuples from the generic
+        :meth:`FifoServer.submit` fall back to :meth:`_price`.  Service
+        times from :meth:`_service` are non-negative sums of seek,
+        settle and transfer components, so the generic negativity check
+        is vacuous for them.  The completion event's ``succeed`` is
+        inlined as well: the event is fresh by construction and this
+        method only ever runs during dispatch.
+        """
+        done, value, duration = entry
+        self.busy_time += duration
+        self.request_count += 1
+        queue = self._queue
+        env = self.env
+        if queue:
+            next_entry = queue.popleft()
+            if len(next_entry) == 5:
+                extents, next_done, next_value, enqueued, base = next_entry
+                self.queue_time += env._now - enqueued
+                if len(extents) == 1:
+                    # The single-extent pricing of _service, inlined:
+                    # one call frame per completion on saturated disks.
+                    # KEEP IN SYNC with the len==1 branch of _service —
+                    # queued and idle requests must price identically
+                    # (pinned by tests/sim/test_clustered_fastpath.py).
+                    offset, n_pages = extents[0]
+                    start_page = base + offset
+                    ppt = self._pages_per_track
+                    track = start_page / ppt
+                    distance = track - self._head_track
+                    if distance < 0.0:
+                        distance = -distance
+                    if distance == 0:
+                        seek = 0.0
+                    else:
+                        seek = self._max_seek_s * _sqrt(
+                            distance / self._total_tracks
+                        )
+                    self.seek_time += seek
+                    self.pages_read += n_pages
+                    self._head_track = (start_page + n_pages) / ppt
+                    next_duration = (
+                        seek + self._settle_s + n_pages * self._per_page_s
+                    )
+                else:
+                    next_duration = self._service(extents, base)
+            else:
+                service, next_done, next_value, enqueued = next_entry
+                self.queue_time += env._now - enqueued
+                next_duration = self._price(service)
+                if next_duration < 0:
+                    raise ValueError(
+                        f"negative service time on {self.name!r}"
+                    )
+            env._seq = seq = env._seq + 1
+            heappush(
+                env._heap,
+                (
+                    env._now + next_duration,
+                    seq,
+                    self._complete_cb,
+                    (next_done, next_value, next_duration),
+                ),
+            )
+        else:
+            self._busy = False
+        # done.succeed(value), inlined (no triggered re-check: the
+        # event is fresh); _dispatching is True inside a dispatch.
+        done.triggered = True
+        done.value = value
+        callbacks = done.callbacks
+        if callbacks is None:
+            return
+        done.callbacks = None
+        if callbacks.__class__ is list:
+            for callback in callbacks:
+                env._schedule(0.0, callback, value)
+        else:
+            heap = env._heap
+            if not env._ready and (not heap or heap[0][0] > env._now):
+                env.event_count += 1
+                callbacks(value)
+            else:
+                env._seq = seq = env._seq + 1
+                env._ready.append((seq, callbacks, value))
+
     def _service(
         self, extents: Sequence[tuple[int, int]], base: int = 0
     ) -> float:
+        if len(extents) == 1:
+            # Single-extent requests dominate bitmap-heavy plans (every
+            # packed cluster extent and every sub-page bitmap fragment
+            # is one extent); the direct form performs the exact same
+            # IEEE-754 operations as one loop iteration.  KEEP IN SYNC
+            # with the inlined copy in _complete (queued requests).
+            offset, n_pages = extents[0]
+            start_page = base + offset
+            ppt = self._pages_per_track
+            track = start_page / ppt
+            distance = track - self._head_track
+            if distance < 0.0:
+                distance = -distance
+            if distance == 0:
+                seek = 0.0
+            else:
+                seek = self._max_seek_s * _sqrt(
+                    distance / self._total_tracks
+                )
+            self.seek_time += seek
+            self.pages_read += n_pages
+            self._head_track = (start_page + n_pages) / ppt
+            return seek + self._settle_s + n_pages * self._per_page_s
         if len(extents) >= VECTOR_MIN_EXTENTS:
             return self._service_vector(extents, base)
         ppt = self._pages_per_track
@@ -160,7 +282,9 @@ class Disk(FifoServer):
         for offset, n_pages in extents:
             start_page = base + offset
             track = start_page / ppt
-            distance = abs(track - head)
+            distance = track - head
+            if distance < 0.0:
+                distance = -distance
             if distance == 0:
                 seek = 0.0
             else:

@@ -67,17 +67,21 @@ class Event:
         if callbacks.__class__ is list:
             for callback in callbacks:
                 env._schedule(0.0, callback, value)
-        elif (
-            env._dispatching
-            and not env._ready
-            and (not env._heap or env._heap[0][0] > env._now)
-        ):
-            # Sole waiter and nothing else pending at this instant: its
-            # fresh seq would make it the very next dispatch — run inline.
-            env.event_count += 1
-            callbacks(value)
+        elif env._dispatching:
+            heap = env._heap
+            if not env._ready and (not heap or heap[0][0] > env._now):
+                # Sole waiter and nothing else pending at this instant:
+                # its fresh seq would make it the very next dispatch —
+                # run inline.
+                env.event_count += 1
+                callbacks(value)
+            else:
+                # _schedule(0.0, callbacks, value), inlined (hot path).
+                env._seq = seq = env._seq + 1
+                env._ready.append((seq, callbacks, value))
         else:
-            env._schedule(0.0, callbacks, value)
+            env._seq = seq = env._seq + 1
+            heapq.heappush(env._heap, (env._now, seq, callbacks, value))
         return self
 
     def wait(self, callback: Callable[[Any], None]) -> None:
@@ -105,15 +109,23 @@ class AllOf(Event):
     __slots__ = ("_pending", "_events")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
-        super().__init__(env)
-        events = list(events)
+        # super().__init__(env), field stores inlined (hot path).
+        self.env = env
+        self.callbacks = None
+        self.triggered = False
+        self.value = None
+        # A caller-owned list is used as-is (callers must not mutate it
+        # afterwards); other iterables are materialised.
+        if events.__class__ is not list:
+            events = list(events)
         self._events = events
         self._pending = len(events)
         if self._pending == 0:
             self.succeed([])
             return
+        on_child = self._on_child
         for event in events:
-            event.wait(self._on_child)
+            event.wait(on_child)
 
     def _on_child(self, _value: Any) -> None:
         self._pending -= 1
@@ -130,7 +142,13 @@ class Process:
         self.env = env
         self._send = body.send
         self._resume_cb = self._resume
-        self.done = Event(env)
+        # Event(env), field stores inlined (one process per subquery).
+        done = Event.__new__(Event)
+        done.env = env
+        done.callbacks = None
+        done.triggered = False
+        done.value = None
+        self.done = done
         env._schedule(0.0, self._resume_cb, None)
 
     def _resume(self, value: Any) -> None:
@@ -143,7 +161,18 @@ class Process:
             raise TypeError(
                 f"process yielded {type(event).__name__}, expected Event"
             )
-        event.wait(self._resume_cb)
+        # event.wait(self._resume_cb), inlined (hot path): one wait per
+        # yield of every process.
+        if event.triggered:
+            self.env._schedule(0.0, self._resume_cb, event.value)
+            return
+        current = event.callbacks
+        if current is None:
+            event.callbacks = self._resume_cb
+        elif current.__class__ is list:
+            current.append(self._resume_cb)
+        else:
+            event.callbacks = [current, self._resume_cb]
 
 
 class Environment:
@@ -154,6 +183,10 @@ class Environment:
     with the heap only needs a ``(time, seq)`` comparison against the
     heap head.
     """
+
+    __slots__ = (
+        "_now", "_heap", "_ready", "_seq", "_dispatching", "event_count"
+    )
 
     def __init__(self):
         self._now = 0.0
@@ -187,8 +220,22 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Event:
         """An event triggering ``delay`` seconds from now."""
-        event = Event(self)
-        self._schedule(delay, event.succeed, value)
+        # Event(self), field stores inlined (hot path).
+        event = Event.__new__(Event)
+        event.env = self
+        event.callbacks = None
+        event.triggered = False
+        event.value = None
+        # _schedule(delay, event.succeed, value), inlined (hot path).
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        self._seq = seq = self._seq + 1
+        if delay == 0.0 and self._dispatching:
+            self._ready.append((seq, event.succeed, value))
+        else:
+            heapq.heappush(
+                self._heap, (self._now + delay, seq, event.succeed, value)
+            )
         return event
 
     def process(self, body: ProcessBody) -> Process:

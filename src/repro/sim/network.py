@@ -29,11 +29,18 @@ class Network:
             raise ValueError("n_bytes must be non-negative")
         return n_bytes * 8.0 / self.params.bandwidth_bits_per_s
 
-    def transfer(self, n_bytes: int) -> Event:
-        """An event triggering after the wire delay of one message."""
+    def transfer(self, n_bytes: int, seconds: float | None = None) -> Event:
+        """An event triggering after the wire delay of one message.
+
+        ``seconds`` may carry the precomputed :meth:`transfer_seconds`
+        of ``n_bytes`` — hot callers sending fixed-size control messages
+        price the delay once instead of per message.
+        """
         self.messages_sent += 1
         self.bytes_sent += n_bytes
-        return self.env.timeout(self.transfer_seconds(n_bytes))
+        if seconds is None:
+            seconds = self.transfer_seconds(n_bytes)
+        return self.env.timeout(seconds)
 
 
 def send_instructions(costs: CpuCosts, n_bytes: int) -> int:

@@ -40,6 +40,7 @@ class FifoServer:
         "name",
         "_queue",
         "_busy",
+        "_complete_cb",
         "busy_time",
         "request_count",
         "queue_time",
@@ -48,6 +49,10 @@ class FifoServer:
     def __init__(self, env: Environment, name: str = ""):
         self.env = env
         self.name = name
+        #: The bound completion callback, bound once — pushing
+        #: ``self._complete`` would allocate a fresh bound method per
+        #: request on the hot path.
+        self._complete_cb = self._complete
         #: Waiting requests: (service, done, value, enqueue_time).
         self._queue: deque[
             tuple[Callable[[], float] | float, Event, Any, float]
@@ -89,7 +94,8 @@ class FifoServer:
             env._seq = seq = env._seq + 1
             heappush(
                 env._heap,
-                (env._now + duration, seq, self._complete, (done, value, duration)),
+                (env._now + duration, seq, self._complete_cb,
+                 (done, value, duration)),
             )
         return done
 
@@ -98,11 +104,17 @@ class FifoServer:
         self.busy_time += duration
         self.request_count += 1
         queue = self._queue
+        env = self.env
         if queue:
             service, next_done, next_value, enqueued = queue.popleft()
-            env = self.env
             self.queue_time += env._now - enqueued
-            next_duration = self._price(service)
+            # Pre-priced floats (CPU bursts, the hot case) skip the
+            # _price indirection.
+            next_duration = (
+                service
+                if service.__class__ is float
+                else self._price(service)
+            )
             if next_duration < 0:
                 raise ValueError(f"negative service time on {self.name!r}")
             env._seq = seq = env._seq + 1
@@ -111,13 +123,31 @@ class FifoServer:
                 (
                     env._now + next_duration,
                     seq,
-                    self._complete,
+                    self._complete_cb,
                     (next_done, next_value, next_duration),
                 ),
             )
         else:
             self._busy = False
-        done.succeed(value)
+        # done.succeed(value), inlined (the completion event is fresh
+        # by construction, and _complete only runs during dispatch).
+        done.triggered = True
+        done.value = value
+        callbacks = done.callbacks
+        if callbacks is None:
+            return
+        done.callbacks = None
+        if callbacks.__class__ is list:
+            for callback in callbacks:
+                env._schedule(0.0, callback, value)
+        else:
+            heap = env._heap
+            if not env._ready and (not heap or heap[0][0] > env._now):
+                env.event_count += 1
+                callbacks(value)
+            else:
+                env._seq = seq = env._seq + 1
+                env._ready.append((seq, callbacks, value))
 
     @property
     def queue_length(self) -> int:

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator
 
 from repro.mdhf.routing import QueryPlan
 from repro.sim.buffer import BufferManager
@@ -31,7 +30,7 @@ from repro.sim.engine import Environment, Event
 from repro.sim.network import Network, receive_instructions, send_instructions
 
 
-@dataclass
+@dataclass(slots=True)
 class _IOAccumulator:
     """Per-query I/O counters."""
 
@@ -44,6 +43,14 @@ class _IOAccumulator:
 
 class QueryExecutor:
     """Executes one routed query on the simulated system."""
+
+    __slots__ = (
+        "env", "database", "plan", "nodes", "disks", "network", "buffers",
+        "params", "io", "_small", "_small_delay", "_recv_cost",
+        "_finish_cost", "_bitmap_page_cost", "_row_cost", "_read_page_cost",
+        "_parallel_bitmap_io", "coordinator_id", "_coordinator",
+        "_slots_free", "_free_nodes", "_active", "_wake", "_disk_read",
+    )
 
     def __init__(
         self,
@@ -71,16 +78,29 @@ class QueryExecutor:
         self.io = _IOAccumulator()
         costs = self.params.cpu_costs
         small = self.params.network.small_message_bytes
+        self._small = small
+        self._small_delay = network.transfer_seconds(small)
         self._recv_cost = receive_instructions(costs, small)
         self._finish_cost = (
             costs.terminate_subquery + send_instructions(costs, small)
         )
+        # Per-subquery constants, hoisted off the hot generators.
+        self._bitmap_page_cost = costs.process_bitmap_page
+        self._row_cost = costs.extract_table_row + costs.aggregate_table_row
+        self._read_page_cost = costs.read_page
+        self._parallel_bitmap_io = self.params.parallel_bitmap_io
 
         self.coordinator_id = rng.randrange(len(nodes))
         self._coordinator = nodes[self.coordinator_id]
         self._slots_free: list[int] = []
+        #: Nodes with at least one free slot; lets the coordinator skip
+        #: the round-robin scan entirely while every node is saturated.
+        self._free_nodes = 0
         self._active = 0
         self._wake: Event | None = None
+        #: Pre-bound read_validated of every disk: the subquery loops
+        #: index this list instead of re-binding the method per read.
+        self._disk_read = [disk.read_validated for disk in disks]
 
     # -- coordinator ---------------------------------------------------------
 
@@ -97,9 +117,10 @@ class QueryExecutor:
         # Coordination occupies one task slot on the coordinator node.
         self._slots_free = [t] * n_nodes
         self._slots_free[self.coordinator_id] = max(t - 1, 1 if n_nodes == 1 else 0)
+        self._free_nodes = sum(1 for slots in self._slots_free if slots > 0)
 
         work_iter = self.database.iter_subquery_work(self.plan)
-        next_work = self._pull(work_iter)
+        next_work = next(work_iter, None)
         cursor = 0
         send_cost = costs.initiate_subquery + send_instructions(costs, small)
 
@@ -109,15 +130,18 @@ class QueryExecutor:
             while next_work is not None:
                 if global_cap is not None and self._active >= global_cap:
                     break
-                node_id = self._find_free(cursor, n_nodes)
-                if node_id is None:
+                if not self._free_nodes:
                     break
+                node_id = self._find_free(cursor, n_nodes)
                 cursor = (node_id + 1) % n_nodes
-                self._slots_free[node_id] -= 1
+                slots_free = self._slots_free
+                slots_free[node_id] -= 1
+                if not slots_free[node_id]:
+                    self._free_nodes -= 1
                 self._active += 1
                 yield self._coordinator.compute(send_cost)
                 self._launch(node_id, next_work)
-                next_work = self._pull(work_iter)
+                next_work = next(work_iter, None)
             if next_work is None and self._active == 0:
                 break
             self._wake = env.event()
@@ -126,16 +150,18 @@ class QueryExecutor:
 
         yield self._coordinator.compute(costs.terminate_query)
 
-    @staticmethod
-    def _pull(work_iter: Iterator[SubqueryWork]) -> SubqueryWork | None:
-        return next(work_iter, None)
+    def _find_free(self, cursor: int, n_nodes: int) -> int:
+        """First node with a free slot, round robin from ``cursor``.
 
-    def _find_free(self, cursor: int, n_nodes: int) -> int | None:
+        Only called while ``_free_nodes`` is positive, so a free node
+        always exists.
+        """
+        slots_free = self._slots_free
         for i in range(n_nodes):
             node_id = (cursor + i) % n_nodes
-            if self._slots_free[node_id] > 0:
+            if slots_free[node_id] > 0:
                 return node_id
-        return None
+        raise AssertionError("no free node despite _free_nodes > 0")
 
     def _launch(self, node_id: int, work: SubqueryWork) -> None:
         self.io.subqueries += 1
@@ -143,7 +169,10 @@ class QueryExecutor:
         process.done.wait(lambda _value, n=node_id: self._on_done(n))
 
     def _on_done(self, node_id: int) -> None:
-        self._slots_free[node_id] += 1
+        slots_free = self._slots_free
+        slots_free[node_id] += 1
+        if slots_free[node_id] == 1:
+            self._free_nodes += 1
         self._active -= 1
         if self._wake is not None and not self._wake.triggered:
             self._wake.succeed()
@@ -151,85 +180,126 @@ class QueryExecutor:
     # -- subquery ----------------------------------------------------------------
 
     def _subquery_body(self, node_id: int, work: SubqueryWork):
-        params = self.params
-        costs = params.cpu_costs
-        small = params.network.small_message_bytes
+        """One subquery, start to finish (Section 4.3 steps 3-4).
+
+        The bitmap and fact phases are inlined into this one generator
+        (instead of ``yield from`` sub-generators) so each subquery
+        costs a single generator frame on the event loop's hot path.
+        """
+        env = self.env
+        small = self._small
+        small_delay = self._small_delay
         node = self.nodes[node_id]
         buffer = self.buffers[node_id]
+        io = self.io
+        disk_read = self._disk_read
 
         # Assignment message: wire delay, then receive cost on the node.
-        yield self.network.transfer(small)
+        yield self.network.transfer(small, small_delay)
         yield node.compute(self._recv_cost)
 
-        # Step 4a: read and process the relevant bitmap fragments.
-        if work.bitmap_reads_rel:
-            pages_processed = yield from self._bitmap_phase(work, buffer)
+        # Step 4a: read and process the relevant bitmap fragments —
+        # parallel over disks if configured.  With parallel bitmap I/O
+        # (or a counting-only pool, which has no observable state) the
+        # pool is probed in bulk
+        # (:meth:`~repro.sim.buffer.BufferPool.probe_many`) before the
+        # missed groups are submitted to their disks — exactly what the
+        # sequence of probes produced before, since nothing yields
+        # between them.  Sequential bitmap I/O on a stateful LRU pool
+        # must instead probe each group only after the previous read
+        # completed: concurrent queries mutate the pool while this one
+        # waits.  Resident fragments still need CPU evaluation, so the
+        # compute burst covers every processed page, read or buffered.
+        bitmap_disks = work.bitmap_disks
+        if bitmap_disks:
+            bitmap_starts = work.bitmap_starts
+            extents = work.bitmap_extents
+            pages_per_read = work.bitmap_pages_per_read
+            parallel = self._parallel_bitmap_io
+            pool = buffer.bitmap
+            pages_processed = pages_per_read * len(bitmap_disks)
+            if parallel or pool.count_only:
+                pending: list[Event] = []
+                probed = pool.probe_many(
+                    bitmap_disks, bitmap_starts, extents, pages_per_read
+                )
+                if probed is None:
+                    # Counting-only pool: every group missed in full,
+                    # and the misses are already counted.
+                    io.bitmap_ops += len(extents) * len(bitmap_disks)
+                    io.bitmap_pages += pages_processed
+                    for disk_id, base in zip(bitmap_disks, bitmap_starts):
+                        event = disk_read[disk_id](
+                            extents, pages_per_read, base
+                        )
+                        if parallel:
+                            pending.append(event)
+                        else:
+                            yield event
+                else:
+                    for disk_id, base, (to_read, read_pages) in zip(
+                        bitmap_disks, bitmap_starts, probed
+                    ):
+                        if not to_read:
+                            continue
+                        io.bitmap_ops += len(to_read)
+                        io.bitmap_pages += read_pages
+                        pending.append(
+                            disk_read[disk_id](to_read, read_pages, base)
+                        )
+                if pending:
+                    yield env.all_of(pending)
+            else:
+                access_extents = pool.access_extents
+                for disk_id, base in zip(bitmap_disks, bitmap_starts):
+                    to_read, read_pages = access_extents(
+                        disk_id, extents, base, pages_per_read
+                    )
+                    if not to_read:
+                        continue
+                    io.bitmap_ops += len(to_read)
+                    io.bitmap_pages += read_pages
+                    yield disk_read[disk_id](to_read, read_pages, base)
             if pages_processed:
-                yield node.compute(costs.process_bitmap_page * pages_processed)
+                yield node.compute(self._bitmap_page_cost * pages_processed)
 
         # Step 4b: read fact granules, extract and aggregate hit rows.
-        yield from self._fact_phase(work, node, buffer)
+        row_instructions = self._row_cost * work.relevant_rows
+        batches = work.fact_batches
+        if batches:
+            rows_per_batch = row_instructions / len(batches)
+            fact_disk = work.fact_disk
+            base = work.fact_start
+            pool = buffer.fact
+            compute = node.compute
+            read_page = self._read_page_cost
+            if pool.count_only:
+                # Distinct accesses can only miss (see probe_many):
+                # every batch is read in full, so the per-batch counter
+                # updates collapse into per-subquery sums.
+                pool.misses += work.fact_extent_count
+                io.fact_ops += work.fact_extent_count
+                io.fact_pages += work.fact_pages
+                read_validated = disk_read[fact_disk]
+                for batch, pages_in_batch in batches:
+                    yield read_validated(batch, pages_in_batch, base)
+                    yield compute(read_page * pages_in_batch + rows_per_batch)
+            else:
+                access_extents = pool.access_extents
+                read_validated = disk_read[fact_disk]
+                for batch, pages_in_batch in batches:
+                    to_read, read_pages = access_extents(
+                        fact_disk, batch, base, pages_in_batch
+                    )
+                    if to_read:
+                        io.fact_ops += len(to_read)
+                        io.fact_pages += read_pages
+                        yield read_validated(to_read, read_pages, base)
+                    yield compute(read_page * pages_in_batch + rows_per_batch)
+        elif row_instructions:
+            yield node.compute(row_instructions)
 
         # Return the partial aggregate to the coordinator.
         yield node.compute(self._finish_cost)
-        yield self.network.transfer(small)
+        yield self.network.transfer(small, small_delay)
         yield self._coordinator.compute(self._recv_cost)
-
-    def _bitmap_phase(self, work: SubqueryWork, buffer: BufferManager):
-        """Read all bitmap fragments; parallel over disks if configured.
-
-        Returns the number of bitmap pages processed (read or buffered —
-        resident fragments still need CPU evaluation).
-        """
-        pending: list[Event] = []
-        pages_processed = 0
-        access_extents = buffer.bitmap.access_extents
-        parallel = self.params.parallel_bitmap_io
-        disks = self.disks
-        io = self.io
-        for disk_id, base, extents, total_pages in work.bitmap_reads_rel:
-            pages_processed += total_pages
-            to_read, read_pages = access_extents(
-                disk_id, extents, base, total_pages
-            )
-            if not to_read:
-                continue
-            io.bitmap_ops += len(to_read)
-            io.bitmap_pages += read_pages
-            event = disks[disk_id].read_validated(to_read, read_pages, base)
-            if parallel:
-                pending.append(event)
-            else:
-                yield event
-        if pending:
-            yield self.env.all_of(pending)
-        return pages_processed
-
-    def _fact_phase(self, work: SubqueryWork, node: ProcessingNode, buffer: BufferManager):
-        costs = self.params.cpu_costs
-        row_instructions = (
-            costs.extract_table_row + costs.aggregate_table_row
-        ) * work.relevant_rows
-
-        batches = work.fact_batches
-        if not batches:
-            if row_instructions:
-                yield node.compute(row_instructions)
-            return
-        rows_per_batch = row_instructions / len(batches)
-        fact_disk = work.fact_disk
-        base = work.fact_start
-        disk = self.disks[fact_disk]
-        access_extents = buffer.fact.access_extents
-        compute = node.compute
-        read_page = costs.read_page
-        io = self.io
-        for batch, pages_in_batch in batches:
-            to_read, read_pages = access_extents(
-                fact_disk, batch, base, pages_in_batch
-            )
-            if to_read:
-                io.fact_ops += len(to_read)
-                io.fact_pages += read_pages
-                yield disk.read_validated(to_read, read_pages, base)
-            yield compute(read_page * pages_in_batch + rows_per_batch)

@@ -151,11 +151,14 @@ class ParallelWarehouseSimulator:
         env = Environment()
         disks, nodes, network, buffers = self._fresh_system(env)
         if len(queries) == 1:
-            # One star query never touches the same extent twice (each
-            # fragment is visited once, its extents are disjoint), so
-            # the fresh pools can skip residency tracking: statistics
-            # stay exact, no hit is possible.  Multi-query streams keep
-            # full LRU behaviour.
+            # One star query never touches the same extent twice —
+            # uniform, clustered (each allocation unit's packed bitmap
+            # extents and fact ranges are visited by exactly one cluster
+            # subquery) or skewed — so the fresh pools can skip
+            # residency tracking: statistics stay exact, no hit is
+            # possible (see BufferManager.assume_distinct_accesses for
+            # the per-path argument).  Multi-query streams keep full
+            # LRU behaviour.
             for manager in buffers:
                 manager.assume_distinct_accesses()
         rng = random.Random(params.seed)

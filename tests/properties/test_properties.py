@@ -234,7 +234,10 @@ class TestSpreaderProperties:
     def test_sum_matches_rate(self, rate, count):
         spreader = _Spreader(rate)
         total = sum(spreader.next() for _ in range(count))
-        assert total == int(np.floor(rate * count + 1e-9))
+        product = rate * count
+        assert total == int(
+            np.floor(product + (product * 2.0 ** -50 + 1e-9))
+        )
 
     @given(st.floats(0, 1000, allow_nan=False), st.integers(1, 500))
     def test_values_near_rate(self, rate, count):
@@ -242,6 +245,18 @@ class TestSpreaderProperties:
         for _ in range(count):
             value = spreader.next()
             assert abs(value - rate) <= 1.0
+
+    @given(st.integers(1, 10**12), st.integers(1, 100_000))
+    @settings(max_examples=60, deadline=None)
+    def test_integer_totals_are_exact_for_any_magnitude(self, total, n):
+        """rate = total / n always sums back to exactly ``total``.
+
+        Regression: the old absolute-only epsilon lost a unit once the
+        product outgrew ~4.5e6 (its ulp exceeded 1e-9)."""
+        spreader = _Spreader(total / n)
+        spreader._count = n - 1
+        spreader.next()
+        assert spreader._emitted == total
 
 
 # -- plan invariants on full-scale APB-1 ---------------------------------------------

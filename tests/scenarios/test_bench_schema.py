@@ -148,6 +148,33 @@ class TestCliBench:
         assert cli_main(["bench", "--scenario", "nope"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
 
+    def test_bench_regen_unknown_scenario_lists_valid_names(self, capsys):
+        # --regen with a bad name must exit 2 with the known names, not
+        # traceback.
+        assert cli_main(["bench", "--regen", "--scenario", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "smoke_tiny" in err
+
+    def test_bench_unknown_run_id_lists_valid_ids(self, capsys):
+        assert cli_main(
+            ["bench", "--scenario", "smoke_tiny", "--runs", "missing_run"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unknown run ids" in err
+        assert "tiny_1store" in err
+
+    def test_bench_empty_run_selection_fails(self, tmp_path, capsys):
+        # Regression: `--runs ","` used to silently write a zero-run
+        # report.
+        out = tmp_path / "empty.json"
+        assert cli_main(
+            ["bench", "--scenario", "smoke_tiny", "--runs", ",",
+             "--out", str(out)]
+        ) == 2
+        assert "selected no run points" in capsys.readouterr().err
+        assert not out.exists()
+
     def test_bench_without_scenario_or_list_fails(self, capsys):
         assert cli_main(["bench"]) == 2
         assert "--scenario" in capsys.readouterr().err

@@ -32,6 +32,27 @@ class TestDeterminism:
             pooled.metrics_fingerprint() == smoke_report.metrics_fingerprint()
         )
 
+    def test_skew_mix_fingerprint_identical_at_jobs_1_and_2(self):
+        # The skewed multi-user expansion rides the rewritten fast path;
+        # its fingerprint must not depend on the shard pool width.
+        serial = ScenarioRunner("multiuser_skew_mix", fast=True, jobs=1).run()
+        sharded = ScenarioRunner("multiuser_skew_mix", fast=True, jobs=2).run()
+        assert serial.metrics_fingerprint() == sharded.metrics_fingerprint()
+        assert serial.to_json(stable=True) == sharded.to_json(stable=True)
+
+    def test_unknown_run_ids_raise_at_construction(self):
+        with pytest.raises(ValueError, match="unknown run ids"):
+            ScenarioRunner("smoke_tiny", run_ids=["missing_run"])
+
+    def test_empty_run_selection_raises_at_construction(self):
+        with pytest.raises(ValueError, match="selected no run points"):
+            ScenarioRunner("smoke_tiny", run_ids=[])
+
+    def test_static_scenarios_skip_run_selection_validation(self):
+        # Static scenarios have no run matrix; construction must work.
+        report = ScenarioRunner("table4_defaults").run()
+        assert report.runs[0].run_id == "static"
+
     def test_seed_override_changes_config_hashes(self, smoke_report):
         reseeded = ScenarioRunner("smoke_tiny", seed=99).run()
         for before, after in zip(smoke_report.runs, reseeded.runs):

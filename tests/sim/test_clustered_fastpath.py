@@ -1,0 +1,386 @@
+"""Clustered/skewed fast-path invariants (behaviour-preserving claims).
+
+The clustered and skewed work expansions build per-cluster extent
+arrays from shared templates in one numpy pass, bitmap reads are stored
+structure-of-arrays and probed in bulk (``BufferPool.probe_many``), and
+the counting-only shortcut extends to multi-fragment clustered
+single-query runs.  Each optimisation is only valid because of the
+invariants pinned here: probe parity with the scalar loop, packed-key
+disk validation, drift-free spreader totals, pairwise-distinct extent
+accesses under clustering/skew, and end-to-end metric equality with the
+un-shortcut buffer path.
+"""
+
+import math
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.mdhf.spec import Fragmentation
+from repro.schema.apb1 import tiny_schema
+from repro.sim.buffer import BufferManager, BufferPool, _MAX_DISK
+from repro.sim.config import SimulationParameters
+from repro.sim.database import (
+    SimulatedDatabase,
+    _Spreader,
+    _spread_counts,
+)
+from repro.sim.simulator import ParallelWarehouseSimulator
+from repro.workload.queries import query_type
+
+
+def _tiny_params(**overrides):
+    params = SimulationParameters().with_hardware(
+        n_disks=8, n_nodes=2, subqueries_per_node=2
+    )
+    return replace(params, **overrides) if overrides else params
+
+
+def _tiny_database(**overrides):
+    schema = tiny_schema()
+    fragmentation = Fragmentation.parse("time::month", "product::group")
+    params = _tiny_params(**overrides)
+    return schema, fragmentation, SimulatedDatabase(
+        schema, fragmentation, params
+    )
+
+
+# ---------------------------------------------------------------------
+# probe_many
+# ---------------------------------------------------------------------
+
+
+class TestProbeMany:
+    def _random_reads(self, rng):
+        extents = [
+            (rng.randrange(8) * 8, rng.choice([2, 4]))
+            for _ in range(rng.randrange(1, 4))
+        ]
+        total = sum(p for _, p in extents)
+        disks = [rng.randrange(3) for _ in range(rng.randrange(1, 5))]
+        bases = [rng.randrange(5) * 500 for _ in disks]
+        return disks, bases, extents, total
+
+    def test_matches_scalar_access_extents_loop(self):
+        rng = random.Random(23)
+        reference = BufferPool(96)
+        bulk = BufferPool(96)
+        for _ in range(300):
+            disks, bases, extents, total = self._random_reads(rng)
+            expected = [
+                reference.access_extents(disk, extents, base, total)
+                for disk, base in zip(disks, bases)
+            ]
+            probed = bulk.probe_many(disks, bases, extents, total)
+            assert probed == expected
+            assert (reference.hits, reference.misses) == (
+                bulk.hits, bulk.misses
+            )
+            assert reference.used_pages == bulk.used_pages
+
+    def test_count_only_short_circuits_to_none(self):
+        pool = BufferPool(100)
+        pool.count_only = True
+        extents = [(0, 2), (8, 2)]
+        result = pool.probe_many([1, 2, 3], [100, 200, 300], extents, 4)
+        assert result is None
+        # One miss per (group, extent) pair, exactly like the loop.
+        assert pool.misses == 6 and pool.hits == 0
+        assert pool.used_pages == 0
+
+    def test_lru_state_equivalence_with_interleaved_hits(self):
+        # Re-probing the same groups hits, refreshing LRU order exactly
+        # like sequential access_extents calls.
+        reference = BufferPool(1000)
+        bulk = BufferPool(1000)
+        extents = [(0, 4), (4, 4)]
+        probed = None
+        for _ in range(2):
+            for disk, base in [(0, 0), (1, 64)]:
+                reference.access_extents(disk, extents, base, 8)
+            probed = bulk.probe_many([0, 1], [0, 64], extents, 8)
+        assert probed == [([], 0), ([], 0)]
+        assert (reference.hits, reference.misses) == (bulk.hits, bulk.misses)
+
+
+# ---------------------------------------------------------------------
+# Packed-key disk validation (regression: disk id was unvalidated)
+# ---------------------------------------------------------------------
+
+
+class TestPackedKeyDiskValidation:
+    def test_negative_disk_rejected(self):
+        pool = BufferPool(64)
+        with pytest.raises(ValueError, match="disk id -1"):
+            pool.lookup(-1, 0)
+        with pytest.raises(ValueError, match="alias"):
+            pool.insert(-1, 0, 4)
+        with pytest.raises(ValueError, match="alias"):
+            pool.access(-1, 0, 4)
+
+    def test_over_wide_disk_rejected(self):
+        pool = BufferPool(64)
+        with pytest.raises(ValueError, match=f"disk id {_MAX_DISK}"):
+            pool.lookup(_MAX_DISK, 0)
+
+    def test_access_extents_validates_disk(self):
+        pool = BufferPool(64)
+        with pytest.raises(ValueError, match="alias"):
+            pool.access_extents(-1, [(0, 4)], 0, 4)
+        with pytest.raises(ValueError, match="alias"):
+            pool.access_extents(_MAX_DISK, [(0, 4)], 0, 4)
+
+    def test_widest_valid_disk_does_not_alias(self):
+        # Regression: disk << 44 with an unvalidated id could collide
+        # with another disk's pages; the widest valid id must not.
+        pool = BufferPool(64)
+        pool.insert(_MAX_DISK - 1, 0, 4)
+        assert not pool.lookup(_MAX_DISK - 2, 0)
+        assert pool.lookup(_MAX_DISK - 1, 0)
+
+
+# ---------------------------------------------------------------------
+# Spreader totals (regression: absolute epsilon drifted at large rates)
+# ---------------------------------------------------------------------
+
+
+class TestSpreaderExactTotals:
+    #: (total, n) pairs where ``floor(total/n * n + 1e-9)`` — the old
+    #: absolute-epsilon guard — loses one unit: the float product lands
+    #: an ulp below the integer total and 1e-9 is smaller than the ulp.
+    DRIFT_CASES = [
+        (7_432_717_247, 402_329),
+        (33_216_976_259, 492_119),
+        (243_430_210_941, 797_913),
+        (817_328_170_240, 165_894),
+    ]
+
+    @pytest.mark.parametrize("total,n", DRIFT_CASES)
+    def test_old_guard_would_drift(self, total, n):
+        # Meta-check so the fixture stays meaningful: these cases do
+        # expose the old formula.
+        assert math.floor((total / n) * n + 1e-9) == total - 1
+
+    @pytest.mark.parametrize("total,n", DRIFT_CASES)
+    def test_scalar_spreader_sums_to_total(self, total, n):
+        # Summing n draws must recover the exact requested total; the
+        # running sum telescopes to the n-th floor-guarded target, so
+        # jump the counter instead of iterating 800k times.
+        spreader = _Spreader(total / n)
+        spreader._count = n - 1
+        spreader.next()
+        assert spreader._emitted == total
+
+    @pytest.mark.parametrize("total,n", DRIFT_CASES)
+    def test_vectorised_counts_sum_to_total(self, total, n):
+        assert sum(_spread_counts(total / n, n)) == total
+
+    @pytest.mark.parametrize(
+        "rate", [0.0, 0.4, 1.0, 7.25, 112.5, 3.999999, 18_474.0000001]
+    )
+    def test_vector_matches_scalar_sequence(self, rate):
+        n = 513
+        spreader = _Spreader(rate)
+        assert _spread_counts(rate, n) == [
+            spreader.next() for _ in range(n)
+        ]
+
+    def test_moderate_rates_unchanged_by_relative_epsilon(self):
+        # The relative term must not promote legitimately fractional
+        # targets: classic small-rate sequences stay identical.
+        assert _spread_counts(112.5, 10) == [112, 113] * 5
+        assert sum(_spread_counts(0.37, 1000)) == 370
+
+
+# ---------------------------------------------------------------------
+# Clustered / skewed expansion invariants
+# ---------------------------------------------------------------------
+
+
+def _collect_keys(database, plan):
+    fact_keys, bitmap_keys = [], []
+    for work in database.iter_subquery_work(plan):
+        for start, _pages in work.fact_extents:
+            fact_keys.append((work.fact_disk, start))
+        for disk, extents in work.bitmap_reads:
+            for start, _pages in extents:
+                bitmap_keys.append((disk, start))
+    return fact_keys, bitmap_keys
+
+
+class TestClusteredDistinctAccesses:
+    """The counting-only shortcut is *provably* hit-free under
+    clustering: every (disk, start page) a clustered single query
+    touches — including the packed per-cluster bitmap extents — is
+    pairwise distinct."""
+
+    @pytest.mark.parametrize("cluster_factor", [2, 4, 8])
+    def test_clustered_extent_sets_are_disjoint(self, cluster_factor):
+        schema, _f, database = _tiny_database(cluster_factor=cluster_factor)
+        query = query_type("1STORE").instantiate(schema, random.Random(0))
+        plan = database.plan(query)
+        fact_keys, bitmap_keys = _collect_keys(database, plan)
+        assert fact_keys and bitmap_keys
+        assert len(set(fact_keys)) == len(fact_keys)
+        assert len(set(bitmap_keys)) == len(bitmap_keys)
+
+    def test_skewed_extent_sets_are_disjoint(self):
+        schema, _f, database = _tiny_database(data_skew=0.75)
+        query = query_type("1STORE").instantiate(schema, random.Random(0))
+        plan = database.plan(query)
+        fact_keys, bitmap_keys = _collect_keys(database, plan)
+        assert fact_keys and bitmap_keys
+        assert len(set(fact_keys)) == len(fact_keys)
+        assert len(set(bitmap_keys)) == len(bitmap_keys)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"cluster_factor": 4},
+            {"data_skew": 0.75},
+        ],
+        ids=["clustered", "skewed"],
+    )
+    def test_count_only_metrics_equal_full_lru(self, overrides, monkeypatch):
+        """End to end: a clustered/skewed single-query run with the
+        counting-only shortcut produces metrics identical to the full
+        LRU buffer path (no hit is possible, so the shortcut is exact).
+        """
+        schema = tiny_schema()
+        fragmentation = Fragmentation.parse("time::month", "product::group")
+        params = _tiny_params(**overrides)
+        query = query_type("1STORE").instantiate(schema, random.Random(0))
+
+        fast = ParallelWarehouseSimulator(schema, fragmentation, params)
+        with_shortcut = fast.run([query])
+
+        monkeypatch.setattr(
+            BufferManager, "assume_distinct_accesses", lambda self: None
+        )
+        slow = ParallelWarehouseSimulator(schema, fragmentation, params)
+        without_shortcut = slow.run([query])
+
+        def signature(result):
+            q = result.queries[0]
+            return (
+                q.response_time, q.subqueries, q.fact_io_ops, q.fact_pages,
+                q.bitmap_io_ops, q.bitmap_pages, result.buffer_hits,
+                result.buffer_misses, result.event_count, result.elapsed,
+                result.disk_busy, result.cpu_busy,
+            )
+
+        assert signature(with_shortcut) == signature(without_shortcut)
+        assert with_shortcut.buffer_hits == 0
+
+
+class TestSequentialBitmapProbeTiming:
+    def test_multiuser_sequential_bitmap_io_matches_reference(self):
+        """With ``parallel_bitmap_io=False`` and concurrent streams, a
+        stateful LRU pool must be probed only after the previous bitmap
+        read completed — other queries mutate the pool in between.
+
+        Regression: an earlier bulk-probe draft probed every group
+        upfront, silently shifting multi-user metrics.  The expected
+        values are captured from the pre-fast-path implementation.
+        """
+        schema = tiny_schema()
+        frag = Fragmentation.parse("time::month", "product::group")
+        params = replace(
+            SimulationParameters().with_hardware(
+                n_disks=6, n_nodes=2, subqueries_per_node=2
+            ),
+            parallel_bitmap_io=False,
+        )
+        sim = ParallelWarehouseSimulator(schema, frag, params)
+        template = query_type("1STORE")
+        streams = [
+            [
+                template.instantiate(schema, random.Random(17 * s + q))
+                for q in range(2)
+            ]
+            for s in range(3)
+        ]
+        result = sim.run_multi_user(streams)
+        assert [
+            round(q.response_time, 9) for q in result.queries
+        ] == [
+            0.701285825, 0.704367665, 0.705683585,
+            0.25560576, 0.323684461, 0.329077546,
+        ]
+        assert (result.buffer_hits, result.buffer_misses) == (2362, 1094)
+        assert result.event_count == 34894
+        assert sum(q.bitmap_io_ops for q in result.queries) == 547
+
+
+class TestQueuedVsIdleDiskPricing:
+    def test_queued_and_idle_single_extent_pricing_agree(self):
+        """The single-extent pricing is inlined in ``Disk._complete``
+        (queued requests) and lives in ``Disk._service`` (idle disk);
+        both copies must price identically, head state included."""
+        from repro.sim.config import DiskParameters
+        from repro.sim.disk import Disk
+        from repro.sim.engine import Environment
+
+        reads = [(0, 4), (5000, 2), (123, 8), (40000, 1)]
+
+        def run(queued: bool):
+            env = Environment()
+            disk = Disk(env, DiskParameters(), 0)
+            if queued:
+                # Submit everything at once: all but the first request
+                # are priced by the inlined block in _complete.
+                for start, pages in reads:
+                    disk.read_validated([(start, pages)], pages)
+                env.run()
+            else:
+                # One at a time: every request is priced by _service on
+                # an idle disk.
+                for start, pages in reads:
+                    disk.read_validated([(start, pages)], pages)
+                    env.run()
+            return disk.busy_time, disk.seek_time, disk.pages_read
+
+        assert run(queued=True) == run(queued=False)
+
+
+class TestWorkStructureOfArrays:
+    @pytest.mark.parametrize(
+        "overrides",
+        [{}, {"cluster_factor": 4}, {"data_skew": 0.75}],
+        ids=["uniform", "clustered", "skewed"],
+    )
+    def test_soa_fields_consistent_with_tuple_views(self, overrides):
+        schema, _f, database = _tiny_database(**overrides)
+        query = query_type("1STORE").instantiate(schema, random.Random(0))
+        plan = database.plan(query)
+        works = list(database.iter_subquery_work(plan))
+        assert works
+        for work in works:
+            assert len(work.bitmap_disks) == len(work.bitmap_starts)
+            reads = work.bitmap_reads_rel
+            assert [d for d, _s, _e, _p in reads] == work.bitmap_disks
+            assert [s for _d, s, _e, _p in reads] == work.bitmap_starts
+            for _d, _s, extents, pages in reads:
+                assert extents is work.bitmap_extents
+                assert pages == work.bitmap_pages_per_read
+                assert pages == sum(p for _o, p in extents)
+            assert work.bitmap_pages == (
+                work.bitmap_pages_per_read * len(work.bitmap_disks)
+            )
+            assert work.fact_extent_count == sum(
+                len(batch) for batch, _pages in work.fact_batches
+            )
+            assert work.fact_pages == sum(
+                pages for _batch, pages in work.fact_batches
+            )
+
+    def test_clustered_covers_every_selected_fragment(self):
+        schema, _f, database = _tiny_database(cluster_factor=4)
+        query = query_type("1STORE").instantiate(schema, random.Random(0))
+        plan = database.plan(query)
+        works = list(database.iter_subquery_work(plan))
+        assert sum(w.fragment_count for w in works) == plan.fragment_count
+        assert sum(w.relevant_rows for w in works) == sum(
+            _spread_counts(plan.hits_per_fragment, plan.fragment_count)
+        )
