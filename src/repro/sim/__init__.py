@@ -3,7 +3,9 @@
 The original SIMPAD is C++ on the commercial CSIM library; this package
 rebuilds the parts the paper describes and parameterises (Table 4):
 
-* a process-based discrete-event engine (:mod:`repro.sim.engine`),
+* a process-based discrete-event engine (:mod:`repro.sim.engine`) and
+  its deliberately naive twin used only by the equivalence harness
+  (:mod:`repro.sim.reference`),
 * disks as explicit FIFO servers with track-position-dependent seek
   times (:mod:`repro.sim.disk`),
 * processing nodes as FIFO CPU servers with per-step instruction costs
@@ -27,6 +29,7 @@ from repro.sim.config import (
     WorkloadParameters,
 )
 from repro.sim.engine import AllOf, Environment, Event
+from repro.sim.reference import ReferenceEnvironment
 from repro.sim.metrics import (
     QueryMetrics,
     SimulationResult,
@@ -40,6 +43,7 @@ __all__ = [
     "Environment",
     "Event",
     "AllOf",
+    "ReferenceEnvironment",
     "HardwareParameters",
     "SimulationParameters",
     "WorkloadParameters",

@@ -47,7 +47,10 @@ class AdmissionController:
         Already triggered on return if a slot is free; otherwise the
         caller waits in FIFO order behind earlier arrivals.
         """
-        event = Event(self.env)
+        # env.event() rather than Event(env): the controller only needs
+        # the event protocol (succeed/wait), so it also runs unchanged
+        # on the naive reference engine in the equivalence harness.
+        event = self.env.event()
         if self.max_mpl is None or self.active < self.max_mpl:
             self._grant(event)
         else:

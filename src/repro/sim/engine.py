@@ -11,20 +11,25 @@ The engine is deliberately small — the behavioural fidelity of the
 simulation lives in the server models (disk, CPU, network), not here.
 
 Dispatch order is the total order of ``(time, seq)``: ties at one
-simulation time resolve in scheduling (FIFO) order.  Two fast paths
-preserve that order exactly while avoiding heap traffic for the
-dominant zero-delay case:
+simulation time resolve in scheduling (FIFO) order.  Callbacks
+scheduled with zero delay *during* dispatch go to a FIFO ready deque
+that is merged with the time heap by ``(time, seq)``, avoiding heap
+traffic for the dominant zero-delay case while preserving the order
+exactly.
 
-* callbacks scheduled with zero delay *during* dispatch go to a FIFO
-  ready deque that is merged with the time heap by ``(time, seq)``;
-* ``Event.succeed`` runs a sole waiter inline when nothing else is
-  pending at the current time (the ready deque is empty and the heap
-  head lies strictly in the future), since the waiter's fresh ``seq``
-  would make it the very next dispatch anyway.
+``Event.succeed`` never runs a waiter inline: succeed() can sit in the
+middle of the currently-dispatched callback, and running the waiter
+before that callback's remainder inverts the ``(time, seq)`` order of
+anything both sides schedule at the current instant (found by the
+stateful equivalence harness, tests/properties/).  The fused server
+completions in :mod:`repro.sim.disk` / :mod:`repro.sim.resources` do
+keep an inline-succeed tail — there succeed is the dispatched
+callback's *final* action, which makes running the sole waiter
+immediately indistinguishable from dispatching it next.
 
-Both paths count into ``Environment.event_count`` exactly as if the
-callback had travelled through the heap, so event statistics are
-independent of the fast paths.
+The ready-deque path counts into ``Environment.event_count`` exactly
+as if the callback had travelled through the heap, so event statistics
+are independent of the fast path.
 """
 
 from __future__ import annotations
@@ -35,6 +40,21 @@ from typing import Any, Callable, Generator, Iterable
 
 #: Type of a simulation process body.
 ProcessBody = Generator["Event", Any, Any]
+
+_INF = float("inf")
+
+
+def _reject_delay(delay: float) -> None:
+    """Raise the right ValueError for a negative or non-finite delay.
+
+    NaN compares false to everything, so a plain ``delay < 0`` guard
+    lets it through to ``heapq`` where it corrupts the ``(time, seq)``
+    total order; ``inf`` keeps the order but parks a callback at a time
+    that can never be reached.  Both are caller bugs and rejected here.
+    """
+    if delay < 0:
+        raise ValueError("cannot schedule into the past")
+    raise ValueError(f"delay must be finite, got {delay!r}")
 
 
 class Event:
@@ -68,17 +88,16 @@ class Event:
             for callback in callbacks:
                 env._schedule(0.0, callback, value)
         elif env._dispatching:
-            heap = env._heap
-            if not env._ready and (not heap or heap[0][0] > env._now):
-                # Sole waiter and nothing else pending at this instant:
-                # its fresh seq would make it the very next dispatch —
-                # run inline.
-                env.event_count += 1
-                callbacks(value)
-            else:
-                # _schedule(0.0, callbacks, value), inlined (hot path).
-                env._seq = seq = env._seq + 1
-                env._ready.append((seq, callbacks, value))
+            # _schedule(0.0, callbacks, value), inlined (hot path).
+            # Never run the waiter inline here: succeed() may sit in
+            # the middle of the current callback, and running the
+            # waiter before that callback's remainder inverts the
+            # (time, seq) order of anything both sides schedule at this
+            # instant.  Inline tails survive only in the fused server
+            # completions (disk/resources), where succeed is provably
+            # the dispatched callback's final action.
+            env._seq = seq = env._seq + 1
+            env._ready.append((seq, callbacks, value))
         else:
             env._seq = seq = env._seq + 1
             heapq.heappush(env._heap, (env._now, seq, callbacks, value))
@@ -104,6 +123,10 @@ class AllOf(Event):
     Its value is the list of the children's values in child order, so
     joined work (e.g. parallel bitmap I/O over staggered fragments) can
     propagate per-fragment results through the join.
+
+    An empty child set triggers with ``[]`` on the *next* dispatch, the
+    same deferred semantics as a child set whose members have all
+    already triggered — never synchronously at construction.
     """
 
     __slots__ = ("_pending", "_events")
@@ -121,7 +144,12 @@ class AllOf(Event):
         self._events = events
         self._pending = len(events)
         if self._pending == 0:
-            self.succeed([])
+            # Defer exactly like the all-children-already-triggered
+            # case (whose `wait` callbacks are scheduled, not run
+            # inline): an observer checking `.triggered` right after
+            # construction sees the same untriggered state whether the
+            # child set is empty or already complete.
+            env._schedule(0.0, self.succeed, [])
             return
         on_child = self._on_child
         for event in events:
@@ -205,15 +233,20 @@ class Environment:
     def _schedule(
         self, delay: float, callback: Callable[[Any], None], value: Any
     ) -> None:
-        if delay < 0:
-            raise ValueError("cannot schedule into the past")
-        self._seq += 1
+        # The dominant zero-delay-during-dispatch case keeps its single
+        # comparison; other delays pay one extra bound check so NaN
+        # (which compares false to everything) and inf never reach the
+        # heap.
         if delay == 0.0 and self._dispatching:
+            self._seq += 1
             self._ready.append((self._seq, callback, value))
-        else:
+        elif 0.0 <= delay < _INF:
+            self._seq += 1
             heapq.heappush(
                 self._heap, (self._now + delay, self._seq, callback, value)
             )
+        else:
+            _reject_delay(delay)
 
     def event(self) -> Event:
         return Event(self)
@@ -227,15 +260,16 @@ class Environment:
         event.triggered = False
         event.value = None
         # _schedule(delay, event.succeed, value), inlined (hot path).
-        if delay < 0:
-            raise ValueError("cannot schedule into the past")
-        self._seq = seq = self._seq + 1
         if delay == 0.0 and self._dispatching:
+            self._seq = seq = self._seq + 1
             self._ready.append((seq, event.succeed, value))
-        else:
+        elif 0.0 <= delay < _INF:
+            self._seq = seq = self._seq + 1
             heapq.heappush(
                 self._heap, (self._now + delay, seq, event.succeed, value)
             )
+        else:
+            _reject_delay(delay)
         return event
 
     def process(self, body: ProcessBody) -> Process:
@@ -255,6 +289,13 @@ class Environment:
         was_dispatching = self._dispatching
         self._dispatching = True
         try:
+            if until is not None and until < self._now:
+                # A horizon already behind the clock (e.g. a resumed
+                # run with a stale `until`): nothing may dispatch — not
+                # even leftover ready-deque entries, which sit at the
+                # *current* time and hence beyond the horizon — and the
+                # clock must not move backwards.
+                return self._now
             while True:
                 if ready and (
                     not heap
@@ -269,6 +310,8 @@ class Environment:
                     break
                 time = heap[0][0]
                 if until is not None and time > until:
+                    # until >= self._now here (pre-loop check), so this
+                    # only ever advances the clock.
                     self._now = until
                     return self._now
                 _time, _seq, callback, value = pop(heap)

@@ -1,0 +1,10 @@
+"""Property-based tests (Hypothesis) on the core invariants.
+
+Shared strategies and the tiered settings profiles
+(``DETERMINISM``/``STATE_MACHINE``/``STANDARD``/``QUICK``) live in
+:mod:`tests.properties.strategies`; CI caps every tier through the
+``HYPOTHESIS_MAX_EXAMPLES`` environment variable.  The stateful engine
+equivalence harness — production event loop vs the naive reference in
+:mod:`repro.sim.reference` — is
+:mod:`tests.properties.test_engine_equivalence`.
+"""

@@ -1,0 +1,145 @@
+"""The naive reference engine honours the same observable contract.
+
+These are direct unit tests (no Hypothesis): the reference engine is
+the trusted side of the equivalence harness, so its own behaviour is
+pinned explicitly — if someone "optimises" it, these fail first.
+"""
+
+import pytest
+
+from repro.sim.reference import ReferenceAllOf, ReferenceEnvironment
+
+
+class TestReferenceScheduling:
+    def test_timeouts_fire_in_order(self):
+        env = ReferenceEnvironment()
+        log = []
+        env.timeout(2.0).wait(lambda _v: log.append("b"))
+        env.timeout(1.0).wait(lambda _v: log.append("a"))
+        env.timeout(3.0).wait(lambda _v: log.append("c"))
+        env.run()
+        assert log == ["a", "b", "c"]
+        assert env.now == 3.0
+
+    def test_fifo_tie_break_at_same_time(self):
+        env = ReferenceEnvironment()
+        log = []
+        env.timeout(1.0).wait(lambda _v: log.append(1))
+        env.timeout(1.0).wait(lambda _v: log.append(2))
+        env.run()
+        assert log == [1, 2]
+
+    def test_every_dispatch_counts(self):
+        env = ReferenceEnvironment()
+        for _ in range(5):
+            env.timeout(1.0)
+        env.run()
+        assert env.event_count == 5
+
+    @pytest.mark.parametrize(
+        "bad", [-1.0, float("nan"), float("inf"), float("-inf")]
+    )
+    def test_bad_delays_rejected(self, bad):
+        env = ReferenceEnvironment()
+        with pytest.raises(ValueError):
+            env.timeout(bad)
+
+    def test_past_horizon_is_clamped(self):
+        env = ReferenceEnvironment()
+        env.timeout(5.0)
+        env.run()
+        env.timeout(3.0)
+        assert env.run(until=1.0) == 5.0
+        assert env.now == 5.0
+
+    def test_future_horizon_advances_clock(self):
+        env = ReferenceEnvironment()
+        env.timeout(10.0)
+        assert env.run(until=4.0) == 4.0
+        assert env.now == 4.0
+
+
+class TestReferenceEventsAndProcesses:
+    def test_double_succeed_rejected(self):
+        env = ReferenceEnvironment()
+        event = env.event()
+        event.succeed()
+        with pytest.raises(RuntimeError, match="already triggered"):
+            event.succeed()
+
+    def test_wait_on_triggered_event_defers(self):
+        env = ReferenceEnvironment()
+        event = env.event()
+        event.succeed(7)
+        late = []
+        event.wait(late.append)
+        assert late == []
+        env.run()
+        assert late == [7]
+
+    def test_process_return_value_and_clock(self):
+        env = ReferenceEnvironment()
+
+        def body():
+            value = yield env.timeout(1.5, value="ping")
+            yield env.timeout(0.5)
+            return (value, env.now)
+
+        process = env.process(body())
+        env.run()
+        assert process.done.value == ("ping", 2.0)
+
+    def test_yielding_non_event_raises(self):
+        env = ReferenceEnvironment()
+
+        def body():
+            yield 42
+
+        env.process(body())
+        with pytest.raises(TypeError, match="expected Event"):
+            env.run()
+
+    def test_run_until_event(self):
+        env = ReferenceEnvironment()
+
+        def body():
+            yield env.timeout(2.0)
+            return "finished"
+
+        process = env.process(body())
+        env.timeout(10.0)
+        assert env.run_until_event(process.done) == "finished"
+        assert env.now == 2.0
+
+    def test_run_until_event_drained_raises(self):
+        env = ReferenceEnvironment()
+        orphan = env.event()
+        with pytest.raises(RuntimeError, match="drained"):
+            env.run_until_event(orphan)
+
+
+class TestReferenceAllOf:
+    def test_join_value_in_child_order(self):
+        env = ReferenceEnvironment()
+        children = [env.timeout(t, value=t) for t in (1.0, 3.0, 2.0)]
+        fired = []
+        ReferenceAllOf(env, children).wait(fired.append)
+        env.run()
+        assert fired == [[1.0, 3.0, 2.0]]
+
+    def test_empty_join_defers(self):
+        env = ReferenceEnvironment()
+        join = env.all_of([])
+        assert not join.triggered
+        env.run()
+        assert join.triggered
+        assert join.value == []
+
+    def test_pre_triggered_children_defer(self):
+        env = ReferenceEnvironment()
+        done = env.event()
+        done.succeed("x")
+        join = env.all_of([done])
+        assert not join.triggered
+        env.run()
+        assert join.value == ["x"]
