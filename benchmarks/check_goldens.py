@@ -32,6 +32,7 @@ from repro.scenarios import (
     compare_to_golden,
     golden_filename,
     scenario_names,
+    validate_report,
     write_report,
 )
 
@@ -65,6 +66,12 @@ def _check_one(
             golden = json.load(handle)
     except (OSError, json.JSONDecodeError) as exc:
         return "BAD GOLDEN", 0.0, [f"cannot read {golden_path}: {exc}"]
+    # Catch stale-schema goldens (e.g. v1 files after the v2 fingerprint
+    # migration) before spending minutes running the scenario.
+    try:
+        validate_report(golden)
+    except ValueError as exc:
+        return "BAD GOLDEN", 0.0, [f"{golden_path}: {exc}"]
     try:
         report = ScenarioRunner(name, jobs=jobs, fast=fast).run()
     except ShardExecutionError as exc:

@@ -31,6 +31,7 @@ import argparse
 import os
 import random
 import sys
+import time
 
 from repro.advisor.advisor import AdvisorConfig, recommend_fragmentation
 from repro.bitmap.catalog import IndexCatalog
@@ -211,6 +212,112 @@ def _shard_progress(outcome, plan) -> None:
     )
 
 
+def _golden_is_stable(golden: dict) -> bool:
+    """Whether a golden was written with ``--stable`` (all wall-clock
+    fields zeroed).  Requiring the per-run fields too keeps a fast
+    non-stable golden (whose total rounds to 0.0) from being converted."""
+    return golden.get("wall_clock_s") == 0.0 and all(
+        entry.get("wall_clock_s") == 0.0
+        for entry in golden.get("runs", [])
+    )
+
+
+def _cmd_bench_regen_all(args: argparse.Namespace) -> int:
+    """Regenerate every scenario's committed golden(s) in one sweep.
+
+    Iterates the registry, regenerates each golden variant that exists
+    on disk (``_fast`` and/or full-matrix, preserving each file's
+    stability mode), and ends with a per-scenario fingerprint diff
+    summary — so a schema migration is one command.
+    """
+    import json
+
+    from repro.scenarios import (
+        ScenarioRunner,
+        ShardExecutionError,
+        golden_filename,
+        iter_scenarios,
+        write_report,
+    )
+
+    for flag, value in (
+        ("--scenario", args.scenario), ("--out", args.out),
+        ("--runs", args.runs), ("--seed", args.seed),
+        ("--seeds", args.seeds), ("--check", args.check),
+    ):
+        if value is not None:
+            print(f"error: {flag} cannot be combined with --regen-all",
+                  file=sys.stderr)
+            return 2
+    if args.regen:
+        print("error: pass either --regen or --regen-all, not both",
+              file=sys.stderr)
+        return 2
+    if args.fast:
+        print("error: --regen-all regenerates whichever golden variants "
+              "exist on disk; --fast is meaningless here",
+              file=sys.stderr)
+        return 2
+    if not os.path.isdir(args.golden_dir):
+        print(f"error: golden directory {args.golden_dir!r} does not "
+              f"exist (run from the repo root or pass --golden-dir)",
+              file=sys.stderr)
+        return 2
+    jobs = _bench_jobs(args)
+    summary = []
+    skipped = []
+    for scenario in iter_scenarios():
+        variants = []
+        for fast in (True, False):
+            path = os.path.join(
+                args.golden_dir, golden_filename(scenario.name, fast)
+            )
+            if os.path.exists(path):
+                variants.append((fast, path))
+        if not variants:
+            skipped.append(scenario.name)
+            continue
+        for fast, path in variants:
+            try:
+                with open(path) as handle:
+                    golden_before = json.load(handle)
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"error: cannot read existing golden {path}: {exc} "
+                      f"(delete the file to regenerate from scratch)",
+                      file=sys.stderr)
+                return 2
+            stable = args.stable or _golden_is_stable(golden_before)
+            started = time.perf_counter()
+            try:
+                report = ScenarioRunner(scenario, jobs=jobs, fast=fast).run()
+            except ShardExecutionError as exc:
+                print(f"error: run point {exc.run_id!r} of scenario "
+                      f"{scenario.name!r} failed: {exc}", file=sys.stderr)
+                return 1
+            write_report(report, path, stable=stable)
+            summary.append((
+                os.path.basename(path),
+                golden_before.get("metrics_fingerprint"),
+                report.metrics_fingerprint(),
+            ))
+            print(f"regenerated {path} "
+                  f"({time.perf_counter() - started:.1f}s)", flush=True)
+    if skipped:
+        print(f"skipped (no committed golden): {', '.join(skipped)}")
+    print("\nfingerprint diff summary:")
+    changed = 0
+    for name, old_fp, new_fp in summary:
+        if old_fp == new_fp:
+            print(f"  {name:<44} unchanged")
+        else:
+            changed += 1
+            print(f"  {name:<44} CHANGED")
+            print(f"    {old_fp}")
+            print(f"    -> {new_fp}")
+    print(f"{changed}/{len(summary)} goldens changed fingerprint")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.scenarios import (
         ScenarioRunner,
@@ -222,6 +329,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_report,
     )
 
+    if args.regen_all:
+        return _cmd_bench_regen_all(args)
     if args.list:
         for scenario in iter_scenarios():
             figure = scenario.figure or "beyond-paper"
@@ -276,12 +385,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             # non-stable golden (whose total happens to round to 0.0)
             # from being silently converted.
             if not args.stable:
-                args.stable = golden_before.get(
-                    "wall_clock_s"
-                ) == 0.0 and all(
-                    entry.get("wall_clock_s") == 0.0
-                    for entry in golden_before.get("runs", [])
-                )
+                args.stable = _golden_is_stable(golden_before)
         else:
             sibling = os.path.join(
                 args.golden_dir,
@@ -522,6 +626,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="regenerate the scenario's committed golden in place "
              "(benchmarks/results/BENCH_<scenario>[_fast].json, honouring "
              "--fast) and print the fingerprint diff",
+    )
+    bench.add_argument(
+        "--regen-all", action="store_true",
+        help="regenerate every scenario's committed golden(s) — whichever "
+             "variants exist under --golden-dir — and print a "
+             "per-scenario fingerprint diff summary",
     )
     bench.add_argument(
         "--golden-dir", default=os.path.join("benchmarks", "results"),

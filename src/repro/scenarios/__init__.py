@@ -21,12 +21,14 @@ from repro.scenarios.registry import (
 )
 from repro.scenarios.runner import (
     BENCH_SCHEMA_VERSION,
+    ENGINE_INTERNAL_METRICS,
     BenchReport,
     RunResult,
     ScenarioRunner,
     compare_to_golden,
     execute_run,
     golden_filename,
+    physical_metrics,
     validate_report,
     write_report,
 )
@@ -44,6 +46,7 @@ from repro.scenarios.spec import RunSpec, ScenarioSpec, grid
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "ENGINE_INTERNAL_METRICS",
     "BenchReport",
     "RunResult",
     "RunSpec",
@@ -61,6 +64,7 @@ __all__ = [
     "grid",
     "iter_scenarios",
     "merge_outcomes",
+    "physical_metrics",
     "plan_shards",
     "register",
     "scenario_names",

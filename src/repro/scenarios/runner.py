@@ -30,7 +30,29 @@ from repro.scenarios.spec import (
 )
 
 #: Version of the BENCH_*.json layout; bump on breaking changes.
-BENCH_SCHEMA_VERSION = 1
+#:
+#: v2: the ``metrics_fingerprint`` pins only *physically meaningful*
+#: metrics (response times, queue delays, pages read, utilizations,
+#: throughput/percentiles).  Engine-internal counters — ``event_count``
+#: — still appear in each run's metrics for diagnostics but are excluded
+#: from the hashed payload and from golden comparison, so the event
+#: loop's internal structure (batching, analytic skips) can change
+#: without invalidating goldens.  v1 hashed every metric verbatim.
+BENCH_SCHEMA_VERSION = 2
+
+#: Per-run metric keys that describe the simulator's internal event
+#: structure rather than the modelled system's physics.  Excluded from
+#: ``metrics_fingerprint`` and from :func:`compare_to_golden`.
+ENGINE_INTERNAL_METRICS = frozenset({"event_count"})
+
+
+def physical_metrics(metrics: dict) -> dict:
+    """The fingerprint-relevant projection of one run's metrics dict."""
+    return {
+        key: value
+        for key, value in metrics.items()
+        if key not in ENGINE_INTERNAL_METRICS
+    }
 
 #: Lazily built schemas, shared by all runs of one process (each pool
 #: worker builds at most one schema per (name, channels, density)).
@@ -379,11 +401,13 @@ class BenchReport:
     wall_clock_s: float = 0.0
 
     def metrics_projection(self) -> dict:
-        """The deterministic part: per-run metrics plus config hashes."""
+        """The deterministic part: per-run physical metrics plus config
+        hashes.  Engine-internal counters (``event_count``) stay out of
+        the projection — see :data:`BENCH_SCHEMA_VERSION`."""
         return {
             result.run_id: {
                 "config_hash": result.config_hash,
-                "metrics": result.metrics,
+                "metrics": physical_metrics(result.metrics),
             }
             for result in self.runs
         }
@@ -746,11 +770,13 @@ def compare_to_golden(report: BenchReport, golden: dict) -> list[str]:
                 f"run {result.run_id!r}: config_hash "
                 f"{result.config_hash} != golden {entry['config_hash']}"
             )
-        if entry["metrics"] != result.metrics:
+        golden_physical = physical_metrics(entry["metrics"])
+        report_physical = physical_metrics(result.metrics)
+        if golden_physical != report_physical:
             keys = sorted(
                 key
-                for key in set(entry["metrics"]) | set(result.metrics)
-                if entry["metrics"].get(key) != result.metrics.get(key)
+                for key in set(golden_physical) | set(report_physical)
+                if golden_physical.get(key) != report_physical.get(key)
             )
             problems.append(
                 f"run {result.run_id!r}: metrics differ on {keys}"
@@ -797,8 +823,10 @@ def validate_report(data: dict) -> None:
         require(key in data, f"missing key {key!r}")
     require(
         data["bench_schema_version"] == BENCH_SCHEMA_VERSION,
-        f"schema version {data['bench_schema_version']!r} != "
-        f"{BENCH_SCHEMA_VERSION}",
+        f"report has schema version {data['bench_schema_version']!r} but "
+        f"this build expects {BENCH_SCHEMA_VERSION}; regenerate it with "
+        f"'repro bench --regen' (or 'repro bench --regen-all' for every "
+        f"scenario)",
     )
     require(isinstance(data["scenario"], str) and data["scenario"],
             "scenario must be a non-empty string")
@@ -820,11 +848,12 @@ def validate_report(data: dict) -> None:
             and entry["wall_clock_s"] >= 0,
             f"run {entry['run_id']!r} has invalid wall_clock_s",
         )
-    # The fingerprint must match the recomputed projection.
+    # The fingerprint must match the recomputed projection (physical
+    # metrics only — engine-internal counters are not hashed).
     projection = {
         entry["run_id"]: {
             "config_hash": entry["config_hash"],
-            "metrics": entry["metrics"],
+            "metrics": physical_metrics(entry["metrics"]),
         }
         for entry in data["runs"]
     }

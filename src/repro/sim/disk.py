@@ -141,12 +141,101 @@ class Disk(FifoServer):
             self._busy = True
             duration = self._service(extents, base)
             env._seq = seq = env._seq + 1
-            heappush(
-                env._heap,
-                (env._now + duration, seq, self._complete_cb,
-                 (done, total_pages, duration)),
-            )
+            # Completions beyond the calendar window (degraded disks,
+            # huge coalesced reads) must go to the far-future buckets or
+            # they would shadow earlier bucketed entries.
+            time = env._now + duration
+            if time < env._cal_end:
+                heappush(
+                    env._heap,
+                    (time, seq, self._complete_cb,
+                     (done, total_pages, duration)),
+                )
+            else:
+                env._cal_push(
+                    (time, seq, self._complete_cb,
+                     (done, total_pages, duration))
+                )
         return done
+
+    def read_batch(
+        self, requests: list[tuple[list, int, int]]
+    ) -> Event:
+        """Several reads submitted back-to-back, fused into one event.
+
+        ``requests`` is a list of ``(extents, total_pages, base)``
+        triples (the :meth:`read_validated` argument forms).  On a FIFO
+        disk, requests submitted consecutively with no intervening
+        event are provably served back-to-back — later arrivals queue
+        behind the whole batch — so the per-request completion events
+        carry no information beyond the last one.  The fusion replays
+        the per-request accounting *exactly* (chained float completion
+        times, per-request pricing order against the moving head,
+        per-request ``queue_time``/``busy_time`` accumulator additions)
+        and triggers one completion event at the last request's
+        completion instant.  Only ``event_count`` differs from issuing
+        the requests individually.
+        """
+        env = self.env
+        done = _EVENT_NEW(Event)
+        done.env = env
+        done.callbacks = None
+        done.triggered = False
+        done.value = None
+        if self._busy:
+            # 3-tuple batch form; _complete dispatches queue entries on
+            # their length (5 = flat single read, 4 = generic submit).
+            self._queue.append((requests, done, env._now))
+        else:
+            self._busy = True
+            end, durations, pages = self._price_batch(
+                requests, env._now, 0.0, False
+            )
+            env._seq = seq = env._seq + 1
+            if end < env._cal_end:
+                heappush(
+                    env._heap,
+                    (end, seq, self._complete_cb, (done, pages, durations)),
+                )
+            else:
+                env._cal_push(
+                    (end, seq, self._complete_cb, (done, pages, durations))
+                )
+        return done
+
+    def _price_batch(
+        self,
+        requests: list[tuple[list, int, int]],
+        start: float,
+        enqueued: float,
+        charge_first: bool,
+    ) -> tuple[float, list[float], int]:
+        """Price a fused batch whose first service starts at ``start``.
+
+        Returns ``(completion_time, per_request_durations, total_pages)``.
+        Each request's wait is charged to ``queue_time`` exactly as the
+        unfused path would at its service start (the first request of an
+        idle-disk submit never waited, hence ``charge_first``); the
+        chained ``t = t + duration`` float additions reproduce the
+        unfused per-completion times bit for bit.
+        """
+        durations: list[float] = []
+        append = durations.append
+        service = self._service
+        queue_time = self.queue_time
+        t = start
+        pages = 0
+        for extents, total_pages, base in requests:
+            if charge_first:
+                queue_time += t - enqueued
+            else:
+                charge_first = True
+            duration = service(extents, base)
+            append(duration)
+            t = t + duration
+            pages += total_pages
+        self.queue_time = queue_time
+        return t, durations, pages
 
     def _price(self, service) -> float:
         if service.__class__ is tuple:
@@ -165,8 +254,15 @@ class Disk(FifoServer):
         method only ever runs during dispatch.
         """
         done, value, duration = entry
-        self.busy_time += duration
-        self.request_count += 1
+        if duration.__class__ is float:
+            self.busy_time += duration
+            self.request_count += 1
+        else:
+            # Fused batch (read_batch): replay the per-request
+            # accumulator additions in request order.
+            for d in duration:
+                self.busy_time += d
+            self.request_count += len(duration)
         queue = self._queue
         env = self.env
         if queue:
@@ -201,6 +297,14 @@ class Disk(FifoServer):
                     )
                 else:
                     next_duration = self._service(extents, base)
+                time = env._now + next_duration
+            elif len(next_entry) == 3:
+                # Queued fused batch: every request waited, so the
+                # first one charges queue_time too.
+                requests, next_done, enqueued = next_entry
+                time, next_duration, next_value = self._price_batch(
+                    requests, env._now, enqueued, True
+                )
             else:
                 service, next_done, next_value, enqueued = next_entry
                 self.queue_time += env._now - enqueued
@@ -209,16 +313,23 @@ class Disk(FifoServer):
                     raise ValueError(
                         f"negative service time on {self.name!r}"
                     )
+                time = env._now + next_duration
             env._seq = seq = env._seq + 1
-            heappush(
-                env._heap,
-                (
-                    env._now + next_duration,
-                    seq,
-                    self._complete_cb,
-                    (next_done, next_value, next_duration),
-                ),
-            )
+            if time < env._cal_end:
+                heappush(
+                    env._heap,
+                    (
+                        time,
+                        seq,
+                        self._complete_cb,
+                        (next_done, next_value, next_duration),
+                    ),
+                )
+            else:
+                env._cal_push(
+                    (time, seq, self._complete_cb,
+                     (next_done, next_value, next_duration))
+                )
         else:
             self._busy = False
         # done.succeed(value), inlined (no triggered re-check: the

@@ -36,12 +36,34 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from math import nextafter
 from typing import Any, Callable, Generator, Iterable
 
 #: Type of a simulation process body.
 ProcessBody = Generator["Event", Any, Any]
 
 _INF = float("inf")
+
+#: Initial calendar bucket width in simulated seconds.  Service times in
+#: the warehouse model are micro- to milliseconds, so the near-future
+#: window (the active heap) absorbs almost every push with a single
+#: float comparison; think times, arrival gaps and analytic skips land
+#: in the far-future buckets.
+_CAL_WIDTH = 1.0
+
+#: Refilling a bucket with more entries than this halves the bucket
+#: width first, so dense far-future storms do not degenerate into one
+#: giant heapify.
+_CAL_RESIZE = 512
+
+#: Width floor for the resize loop: below this, remaining ties are
+#: (near-)exact and halving cannot spread them further.
+_CAL_MIN_WIDTH = 1e-9
+
+#: Bucket keys are ``int(time / width)``; keys at or beyond this are
+#: clamped into one shared overflow bucket so extreme-but-finite times
+#: cannot overflow the int conversion after aggressive width halving.
+_CAL_MAX_KEY = 1 << 62
 
 
 def _reject_delay(delay: float) -> None:
@@ -99,8 +121,14 @@ class Event:
             env._seq = seq = env._seq + 1
             env._ready.append((seq, callbacks, value))
         else:
+            # ``now`` can sit beyond the calendar window after a
+            # ``run(until)`` horizon stop, so even a push at the current
+            # time must respect the window split.
             env._seq = seq = env._seq + 1
-            heapq.heappush(env._heap, (env._now, seq, callbacks, value))
+            if env._now < env._cal_end:
+                heapq.heappush(env._heap, (env._now, seq, callbacks, value))
+            else:
+                env._cal_push((env._now, seq, callbacks, value))
         return self
 
     def wait(self, callback: Callable[[Any], None]) -> None:
@@ -204,16 +232,36 @@ class Process:
 
 
 class Environment:
-    """The event loop: a clock, a time heap and a zero-delay ready deque.
+    """The event loop: a clock, a calendar queue and a ready deque.
 
-    Invariant: every entry in the ready deque was scheduled at the
-    current simulation time (zero delay during dispatch), so merging it
-    with the heap only needs a ``(time, seq)`` comparison against the
-    heap head.
+    The schedule is split three ways by urgency:
+
+    * a FIFO **ready deque** for zero-delay callbacks scheduled during
+      dispatch (every entry sits at the current simulation time, so the
+      merge with the heap only needs a ``(time, seq)`` comparison
+      against the heap head);
+    * an **active heap** holding every pending entry with
+      ``time < _cal_end`` (the near-future window — service completions
+      in the warehouse model are micro- to milliseconds, so nearly all
+      traffic stays here and pays one extra float comparison over a
+      plain binary heap);
+    * far-future **calendar buckets**: a dict keyed by
+      ``int(time / _cal_width)`` of unsorted entry lists (O(1) append —
+      no heap traffic for think times, arrival gaps and analytic
+      skips).  When the heap drains, :meth:`_cal_refill` moves the
+      earliest bucket into it and advances ``_cal_end``.
+
+    Ordering invariant: bucket keys are monotone in time (IEEE division
+    and truncation are monotone), every bucketed entry's time is at or
+    beyond ``_cal_end``, and the heap only ever receives entries below
+    ``_cal_end`` — so heap ∪ ready always dispatches before any bucket,
+    and a refill (heapify of one bucket while the heap is empty)
+    preserves the exact ``(time, seq)`` total order of a single heap.
     """
 
     __slots__ = (
-        "_now", "_heap", "_ready", "_seq", "_dispatching", "event_count"
+        "_now", "_heap", "_ready", "_seq", "_dispatching", "event_count",
+        "_buckets", "_cal_width", "_cal_end",
     )
 
     def __init__(self):
@@ -224,11 +272,75 @@ class Environment:
         self._seq = 0
         self._dispatching = False
         self.event_count = 0
+        #: Far-future calendar: bucket key -> unsorted entry list.
+        self._buckets: dict[int, list] = {}
+        self._cal_width = _CAL_WIDTH
+        self._cal_end = _CAL_WIDTH
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
+
+    def _cal_push(self, entry: tuple) -> None:
+        """File one entry (with ``time >= _cal_end``) into its bucket."""
+        key = entry[0] / self._cal_width
+        key = int(key) if key < _CAL_MAX_KEY else _CAL_MAX_KEY
+        buckets = self._buckets
+        bucket = buckets.get(key)
+        if bucket is None:
+            buckets[key] = [entry]
+        else:
+            bucket.append(entry)
+
+    def _cal_refill(self) -> None:
+        """Move the earliest calendar bucket into the (empty) heap.
+
+        Pops the minimal bucket, heapifies its entries and advances
+        ``_cal_end`` to the bucket's upper boundary — computed with the
+        same ``int(time / width)`` key function used at insert, walked
+        down by ulps so that *every* float below the new ``_cal_end``
+        provably maps to the popped bucket or below.  A bucket holding
+        more than ``_CAL_RESIZE`` entries halves the width (rebucketing
+        all pending entries) before the pop, so overloaded buckets keep
+        their refill heapify bounded.
+        """
+        buckets = self._buckets
+        width = self._cal_width
+        while True:
+            index = min(buckets)
+            if (
+                len(buckets[index]) <= _CAL_RESIZE
+                or width <= _CAL_MIN_WIDTH
+            ):
+                break
+            width = self._cal_width = width / 2.0
+            entries = [
+                entry for bucket in buckets.values() for entry in bucket
+            ]
+            buckets.clear()
+            for entry in entries:
+                key = entry[0] / width
+                key = int(key) if key < _CAL_MAX_KEY else _CAL_MAX_KEY
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = [entry]
+                else:
+                    bucket.append(entry)
+        heap = self._heap
+        heap.extend(buckets.pop(index))
+        heapq.heapify(heap)
+        if index >= _CAL_MAX_KEY:
+            # The shared overflow bucket is always the last to drain;
+            # afterwards the heap is the whole schedule again.
+            self._cal_end = _INF
+            return
+        end = (index + 1) * width
+        prev = nextafter(end, 0.0)
+        while int(prev / width) > index:
+            end = prev
+            prev = nextafter(end, 0.0)
+        self._cal_end = end
 
     def _schedule(
         self, delay: float, callback: Callable[[Any], None], value: Any
@@ -236,15 +348,19 @@ class Environment:
         # The dominant zero-delay-during-dispatch case keeps its single
         # comparison; other delays pay one extra bound check so NaN
         # (which compares false to everything) and inf never reach the
-        # heap.
+        # heap, plus the calendar window split.
         if delay == 0.0 and self._dispatching:
             self._seq += 1
             self._ready.append((self._seq, callback, value))
         elif 0.0 <= delay < _INF:
+            time = self._now + delay
             self._seq += 1
-            heapq.heappush(
-                self._heap, (self._now + delay, self._seq, callback, value)
-            )
+            if time < self._cal_end:
+                heapq.heappush(
+                    self._heap, (time, self._seq, callback, value)
+                )
+            else:
+                self._cal_push((time, self._seq, callback, value))
         else:
             _reject_delay(delay)
 
@@ -264,12 +380,42 @@ class Environment:
             self._seq = seq = self._seq + 1
             self._ready.append((seq, event.succeed, value))
         elif 0.0 <= delay < _INF:
+            time = self._now + delay
             self._seq = seq = self._seq + 1
-            heapq.heappush(
-                self._heap, (self._now + delay, seq, event.succeed, value)
-            )
+            if time < self._cal_end:
+                heapq.heappush(
+                    self._heap, (time, seq, event.succeed, value)
+                )
+            else:
+                self._cal_push((time, seq, event.succeed, value))
         else:
             _reject_delay(delay)
+        return event
+
+    def timeout_at(self, when: float, value: Any = None) -> Event:
+        """An event triggering at absolute simulation time ``when``.
+
+        The closed-form fast-forward paths need to land completions at
+        exact precomputed instants; ``timeout(when - now)`` is *not*
+        equivalent because ``now + (when - now)`` rounds.  ``when`` may
+        equal ``now`` (triggers on the next dispatch, after anything
+        already scheduled at the current instant).
+        """
+        if when < self._now:
+            raise ValueError("cannot schedule into the past")
+        if not when < _INF:
+            # NaN falls through the first comparison to this one.
+            raise ValueError(f"delay must be finite, got {when!r}")
+        event = Event.__new__(Event)
+        event.env = self
+        event.callbacks = None
+        event.triggered = False
+        event.value = None
+        self._seq = seq = self._seq + 1
+        if when < self._cal_end:
+            heapq.heappush(self._heap, (when, seq, event.succeed, value))
+        else:
+            self._cal_push((when, seq, event.succeed, value))
         return event
 
     def process(self, body: ProcessBody) -> Process:
@@ -307,6 +453,9 @@ class Environment:
                     callback(value)
                     continue
                 if not heap:
+                    if self._buckets:
+                        self._cal_refill()
+                        continue
                     break
                 time = heap[0][0]
                 if until is not None and time > until:
@@ -318,6 +467,15 @@ class Environment:
                 self._now = time
                 count += 1
                 callback(value)
+                # Same-instant batch: while the ready deque is empty,
+                # every remaining heap entry at this time carries a
+                # smaller seq than anything the callbacks can schedule
+                # now, so draining them back-to-back reproduces the
+                # merge order exactly without re-checking it per pop.
+                while heap and heap[0][0] == time and not ready:
+                    _time, _seq, callback, value = pop(heap)
+                    count += 1
+                    callback(value)
         finally:
             self._dispatching = was_dispatching
             self.event_count += count
@@ -343,11 +501,26 @@ class Environment:
                     callback(value)
                     continue
                 if not heap:
+                    if self._buckets:
+                        self._cal_refill()
+                        continue
                     break
                 time, _seq, callback, value = pop(heap)
                 self._now = time
                 count += 1
                 callback(value)
+                # Same-instant batch (see `run`); additionally stops as
+                # soon as the awaited event triggers so no callback runs
+                # that a caller-observed stop should have deferred.
+                while (
+                    not event.triggered
+                    and heap
+                    and heap[0][0] == time
+                    and not ready
+                ):
+                    _time, _seq, callback, value = pop(heap)
+                    count += 1
+                    callback(value)
         finally:
             self._dispatching = was_dispatching
             self.event_count += count

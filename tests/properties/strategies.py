@@ -17,6 +17,7 @@ raises it.
 
 from __future__ import annotations
 
+import math
 import os
 
 from hypothesis import HealthCheck, settings
@@ -49,9 +50,27 @@ QUICK = _tier(20)
 #: Delays for timeouts.  Heavily weighted toward a small set of exact
 #: values so same-instant ties (several events at one simulation time)
 #: and zero-delay chains occur constantly; the float tail keeps
-#: arbitrary finite delays in play.
+#: arbitrary finite delays in play.  The ``nextafter`` pair straddles
+#: the production engine's initial calendar-queue window boundary
+#: (width 1.0) by one ulp on each side, and the huge values force
+#: entries through the far-future buckets — including the overflow
+#: bucket — so heap/bucket routing is exercised against the reference
+#: engine, which has no such machinery at all.
 delays = st.one_of(
-    st.sampled_from([0.0, 0.0, 0.5, 0.5, 1.0, 1.5]),
+    st.sampled_from(
+        [
+            0.0,
+            0.0,
+            0.5,
+            0.5,
+            1.0,
+            1.5,
+            math.nextafter(1.0, 0.0),
+            math.nextafter(1.0, 2.0),
+            1e3,
+            1e19,
+        ]
+    ),
     st.floats(
         min_value=0.0,
         max_value=16.0,
@@ -81,6 +100,7 @@ horizon_offsets = st.one_of(
 #: modulo the number of live event pairs at spawn time.
 process_steps = st.one_of(
     st.tuples(st.just("timeout"), delays, event_values),
+    st.tuples(st.just("timeout_at"), delays, event_values),
     st.tuples(st.just("wait"), st.integers(min_value=0, max_value=255)),
     st.tuples(
         st.just("succeed"),

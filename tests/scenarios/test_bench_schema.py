@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import copy
 import json
 
 import pytest
@@ -9,7 +10,9 @@ import pytest
 from repro.cli import main as cli_main
 from repro.scenarios import (
     BENCH_SCHEMA_VERSION,
+    ENGINE_INTERNAL_METRICS,
     ScenarioRunner,
+    physical_metrics,
     validate_report,
     write_report,
 )
@@ -112,6 +115,80 @@ class TestValidation:
         broken["runs"] = []
         with pytest.raises(ValueError, match="non-empty"):
             validate_report(broken)
+
+    def test_old_schema_error_names_both_versions_and_the_remedy(
+        self, report_dict
+    ):
+        stale = dict(report_dict)
+        stale["bench_schema_version"] = 1
+        with pytest.raises(ValueError) as excinfo:
+            validate_report(stale)
+        message = str(excinfo.value)
+        assert "1" in message
+        assert str(BENCH_SCHEMA_VERSION) in message
+        assert "--regen" in message
+
+
+class TestFingerprintV2:
+    """The v2 contract: the fingerprint pins physics, not engine internals.
+
+    Invariant to ``event_count`` (so the event loop's structure can
+    change without invalidating goldens) and sensitive to every pinned
+    physical metric.
+    """
+
+    def _fingerprint_after(self, report, run_index, key, value):
+        mutated = copy.deepcopy(report)
+        mutated.runs[run_index].metrics[key] = value
+        return mutated.metrics_fingerprint()
+
+    def test_event_count_is_engine_internal(self):
+        assert "event_count" in ENGINE_INTERNAL_METRICS
+
+    def test_fingerprint_invariant_to_event_count(self, report):
+        baseline = report.metrics_fingerprint()
+        perturbed = self._fingerprint_after(
+            report, 0, "event_count",
+            report.runs[0].metrics["event_count"] + 12345,
+        )
+        assert perturbed == baseline
+
+    @pytest.mark.parametrize("key", [
+        "response_time_s",
+        "fact_pages",
+        "total_pages",
+        "avg_disk_utilization",
+        "avg_cpu_utilization",
+    ])
+    def test_fingerprint_sensitive_to_physical_metrics(self, report, key):
+        baseline = report.metrics_fingerprint()
+        original = report.runs[0].metrics[key]
+        perturbed = self._fingerprint_after(report, 0, key, original + 1)
+        assert perturbed != baseline
+
+    def test_fingerprint_sensitive_to_queue_delay(self):
+        report = ScenarioRunner("smoke_open_tiny").run()
+        baseline = report.metrics_fingerprint()
+        target = report.runs[0].metrics
+        assert "avg_queue_delay_s" in target
+        mutated = copy.deepcopy(report)
+        mutated.runs[0].metrics["avg_queue_delay_s"] += 0.5
+        assert mutated.metrics_fingerprint() != baseline
+
+    def test_projection_reports_physical_metrics_only(self, report):
+        for entry in report.metrics_projection().values():
+            assert "event_count" not in entry["metrics"]
+        # ... while the written report keeps the counter for diagnostics
+        # (analytic runs never had one).
+        kept = [
+            run for run in json.loads(report.to_json())["runs"]
+            if "event_count" in run["metrics"]
+        ]
+        assert kept
+
+    def test_physical_metrics_filters_only_engine_internals(self):
+        metrics = {"response_time_s": 1.5, "event_count": 42}
+        assert physical_metrics(metrics) == {"response_time_s": 1.5}
 
 
 class TestCliBench:
@@ -327,3 +404,72 @@ class TestCliRegen:
              "--golden-dir", str(tmp_path / "missing")]
         ) == 2
         assert "golden directory" in capsys.readouterr().err
+
+
+class TestCliRegenAll:
+    def test_regen_all_rewrites_existing_goldens_and_summarises(
+        self, tmp_path, capsys
+    ):
+        # Seed two goldens (one stable); --regen-all must rewrite only
+        # what exists, preserve stability modes, and print the diff.
+        assert cli_main(
+            ["bench", "--scenario", "smoke_tiny", "--fast", "--regen",
+             "--stable", "--golden-dir", str(tmp_path)]
+        ) == 0
+        assert cli_main(
+            ["bench", "--scenario", "smoke_open_tiny", "--regen",
+             "--golden-dir", str(tmp_path)]
+        ) == 0
+        fast_golden = tmp_path / "BENCH_smoke_tiny_fast.json"
+        stable_before = fast_golden.read_text()
+        capsys.readouterr()
+        assert cli_main(
+            ["bench", "--regen-all", "--golden-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint diff summary" in out
+        assert "BENCH_smoke_tiny_fast.json" in out
+        assert "BENCH_smoke_open_tiny.json" in out
+        assert "0/2 goldens changed fingerprint" in out
+        assert "skipped (no committed golden)" in out
+        # The stable golden round-trips byte-identically.
+        assert fast_golden.read_text() == stable_before
+
+    def test_regen_all_reports_a_changed_fingerprint(
+        self, tmp_path, capsys
+    ):
+        assert cli_main(
+            ["bench", "--scenario", "smoke_tiny", "--fast", "--regen",
+             "--stable", "--golden-dir", str(tmp_path)]
+        ) == 0
+        golden = tmp_path / "BENCH_smoke_tiny_fast.json"
+        tampered = json.loads(golden.read_text())
+        tampered["metrics_fingerprint"] = "0" * 64
+        golden.write_text(json.dumps(tampered))
+        capsys.readouterr()
+        assert cli_main(
+            ["bench", "--regen-all", "--golden-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CHANGED" in out
+        assert "1/1 goldens changed fingerprint" in out
+        validate_report(json.loads(golden.read_text()))
+
+    def test_regen_all_rejects_scenario_and_regen_flags(
+        self, tmp_path, capsys
+    ):
+        assert cli_main(
+            ["bench", "--regen-all", "--scenario", "smoke_tiny",
+             "--golden-dir", str(tmp_path)]
+        ) == 2
+        assert "--scenario" in capsys.readouterr().err
+        assert cli_main(
+            ["bench", "--regen-all", "--regen",
+             "--golden-dir", str(tmp_path)]
+        ) == 2
+        assert "not both" in capsys.readouterr().err
+        assert cli_main(
+            ["bench", "--regen-all", "--fast",
+             "--golden-dir", str(tmp_path)]
+        ) == 2
+        assert "--fast" in capsys.readouterr().err

@@ -7,7 +7,12 @@ from dataclasses import replace
 
 import pytest
 
-from repro.scenarios import ScenarioRunner, execute_run, get_scenario
+from repro.scenarios import (
+    ScenarioRunner,
+    execute_run,
+    get_scenario,
+    physical_metrics,
+)
 from repro.scenarios.spec import MODE_MULTI_USER, RunSpec
 
 
@@ -64,7 +69,9 @@ class TestDeterminism:
         fast = ScenarioRunner("smoke_tiny", fast=True).run()
         full = smoke_report.metrics_projection()
         for result in fast.runs:
-            assert full[result.run_id]["metrics"] == result.metrics
+            assert full[result.run_id]["metrics"] == physical_metrics(
+                result.metrics
+            )
 
 
 class TestExecutionModes:
