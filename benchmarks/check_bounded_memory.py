@@ -1,0 +1,164 @@
+"""Assert that bounded retention makes run memory flat in query count.
+
+The streaming metrics core claims a warehouse-scale open-system run
+costs O(1) metric memory per query under ``record_retention="bounded"``.
+This script *measures* the claim with ``tracemalloc``: it executes the
+warehouse simulation at two session counts a factor ``--scale-ratio``
+apart (database build excluded from tracing — it is scale-independent)
+and fails unless the traced peak at the large scale stays within
+``--max-growth`` of the small scale.  Full retention is measured at the
+same two scales for contrast (expected to grow roughly linearly) but is
+reported only, never asserted — its growth is the baseline the bounded
+mode exists to remove.
+
+CI (perf-smoke) runs this on every PR:
+
+    PYTHONPATH=src python benchmarks/check_bounded_memory.py \
+        --small 1000 --large 10000 --out bounded_memory.json
+
+Exit status is non-zero when the bounded-mode growth bound is violated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+import tracemalloc
+from dataclasses import replace
+
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.runner import _database_for, _schema_for
+from repro.sim.simulator import ParallelWarehouseSimulator
+from repro.workload.queries import query_type
+
+
+def _warehouse_run(streams: int, retention: str):
+    """A warehouse_scale run point resized to ``streams`` sessions."""
+    base = get_scenario("warehouse_scale").runs[0]
+    return replace(
+        base,
+        run_id=f"mem_{retention}_{streams}",
+        streams=streams,
+        record_retention=retention,
+    )
+
+
+def measure(streams: int, retention: str) -> dict:
+    """Traced peak metric memory (KiB) of one open-system run."""
+    run = _warehouse_run(streams, retention)
+    schema = _schema_for(run)
+    # The database/simulator build allocates a scale-independent chunk;
+    # keep it outside the traced window so the measurement isolates the
+    # per-query growth the retention knob controls.
+    simulator = ParallelWarehouseSimulator(
+        schema,
+        run.parsed_fragmentation(),
+        run.sim_params(),
+        database=_database_for(run, schema),
+    )
+    template = query_type(run.query)
+
+    def session_queries(session: int) -> list:
+        return [
+            template.instantiate(
+                schema,
+                random.Random(
+                    run.seed + run.stream_seed_stride * session + q
+                ),
+            )
+            for q in range(run.queries_per_stream)
+        ]
+
+    started = time.perf_counter()
+    tracemalloc.start()
+    try:
+        result = simulator.run_open_system(
+            run.streams, run.workload_params(), query_factory=session_queries
+        )
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return {
+        "sessions": streams,
+        "retention": retention,
+        "query_count": result.query_count,
+        "records_retained": result.records_retained,
+        "traced_peak_kib": round(peak / 1024, 1),
+        "wall_clock_s": round(time.perf_counter() - started, 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--small", type=int, default=1000,
+                        help="session count of the small run (default 1000)")
+    parser.add_argument("--large", type=int, default=10000,
+                        help="session count of the large run (default 10000)")
+    parser.add_argument(
+        "--max-growth", type=float, default=2.0,
+        help="largest allowed bounded-mode peak ratio large/small "
+             "(default 2.0; the query count grows by large/small — "
+             "measured: bounded ~1.5x then flat, full ~5.8x, at 10x)",
+    )
+    parser.add_argument("--out", default=None,
+                        help="also write the measurements to this JSON file")
+    parser.add_argument(
+        "--skip-full", action="store_true",
+        help="measure only bounded retention (halves the runtime)",
+    )
+    args = parser.parse_args(argv)
+    if args.large <= args.small:
+        print("error: --large must exceed --small", file=sys.stderr)
+        return 2
+
+    measurements = [
+        measure(args.small, "bounded"),
+        measure(args.large, "bounded"),
+    ]
+    if not args.skip_full:
+        measurements.append(measure(args.small, "full"))
+        measurements.append(measure(args.large, "full"))
+
+    by_key = {(m["retention"], m["sessions"]): m for m in measurements}
+    bounded_growth = (
+        by_key[("bounded", args.large)]["traced_peak_kib"]
+        / by_key[("bounded", args.small)]["traced_peak_kib"]
+    )
+    report = {
+        "scale_ratio": round(args.large / args.small, 2),
+        "bounded_peak_growth": round(bounded_growth, 3),
+        "max_allowed_growth": args.max_growth,
+        "measurements": measurements,
+    }
+    if not args.skip_full:
+        report["full_peak_growth"] = round(
+            by_key[("full", args.large)]["traced_peak_kib"]
+            / by_key[("full", args.small)]["traced_peak_kib"],
+            3,
+        )
+
+    print(json.dumps(report, indent=2))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+    if bounded_growth > args.max_growth:
+        print(
+            f"FAIL: bounded-retention peak grew {bounded_growth:.2f}x over "
+            f"a {args.large / args.small:.0f}x query-count increase "
+            f"(allowed {args.max_growth}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"ok: bounded-retention peak grew {bounded_growth:.2f}x over a "
+        f"{args.large / args.small:.0f}x query-count increase"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""Warehouse-scale open-system runs: streaming aggregates at 10^4-10^5.
+
+Beyond-paper study enabled by the streaming metrics core: session
+counts far past what per-query record lists could hold.  The fast sweep
+(`REPRO_BENCH_FAST=1`, the nightly default for pytest) runs the 10^4
+retention-ablation pair; the full sweep adds the 10^5 bounded point the
+committed golden covers via ``benchmarks/check_goldens.py``.  The
+boundedness claim itself is asserted by
+``benchmarks/check_bounded_memory.py`` (tracemalloc, two scales).
+"""
+
+from conftest import print_table
+from _simruns import scenario_results
+
+SCENARIO = "warehouse_scale"
+
+
+def test_warehouse_scale(benchmark):
+    """Retention is a memory knob, not a physics knob, at any scale."""
+
+    def sweep():
+        return scenario_results(SCENARIO)
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            run_id,
+            result.metrics["sessions"],
+            result.config.get("record_retention", "full"),
+            result.metrics.get("records_retained",
+                               result.metrics["query_count"]),
+            f"{result.metrics['avg_response_time_s']:.6f}",
+            f"{result.metrics['p95_total_delay_s']:.6f}",
+            f"{result.metrics['throughput_qps']:.2f}",
+            f"{result.peak_rss_kb / 1024:.0f}",
+        ]
+        for run_id, result in sorted(results.items())
+    ]
+    print_table(
+        "Warehouse scale: bounded-memory open-system sweep (d=128, MPL 32)",
+        ["run", "sessions", "retention", "records", "avg resp [s]",
+         "p95 total [s]", "throughput [qps]", "peak RSS [MiB]"],
+        rows,
+        filename="warehouse_scale.txt",
+    )
+
+    full = results["sessions10000_full"].metrics
+    bounded = results["sessions10000"].metrics
+    # The ablation pair runs the identical simulation; every shared
+    # metric must agree byte for byte — except the retention evidence
+    # itself, which is what the knob changes.
+    for key in (set(full) & set(bounded)) - {"records_retained"}:
+        assert full[key] == bounded[key], key
+    assert full["records_retained"] == full["query_count"]
+    assert bounded["records_retained"] == 0
+    # 10^4 queries is past the sketches' exactness threshold.
+    assert bounded["percentile_source"] == "sketch"
+    if "sessions100000" in results:  # full sweep only
+        large = results["sessions100000"].metrics
+        assert large["query_count"] == 100_000
+        assert large["records_retained"] == 0

@@ -157,6 +157,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             subqueries_per_node=args.tasks,
         ),
         io_coalesce=args.io_coalesce,
+        record_retention=args.retention,
         seed=args.seed,
     )
     fragmentation = _parse_fragmentation(args.fragmentation[0])
@@ -166,10 +167,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"fragmentation: {fragmentation}")
     print(f"hardware: d={args.disks} p={args.nodes} t={args.tasks}")
     print(f"avg response time: {result.avg_response_time:.3f} s")
-    metrics = result.queries[0]
-    print(f"subqueries: {metrics.subqueries:,}")
-    print(f"fact pages: {metrics.fact_pages:,}  "
-          f"bitmap pages: {metrics.bitmap_pages:,}")
+    if result.queries:
+        metrics = result.queries[0]
+        print(f"subqueries: {metrics.subqueries:,}")
+        print(f"fact pages: {metrics.fact_pages:,}  "
+              f"bitmap pages: {metrics.bitmap_pages:,}")
+    else:
+        # Bounded retention keeps no per-query records — only the
+        # streaming aggregates survive.
+        print(f"retention: bounded "
+              f"({result.query_count:,} queries folded, 0 records kept)")
     print(f"disk utilisation: {result.avg_disk_utilization:.0%}  "
           f"cpu utilisation: {result.avg_cpu_utilization:.0%}")
     return 0
@@ -568,6 +575,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("-t", "--tasks", type=int, default=4)
     simulate.add_argument("--repeat", type=int, default=1)
     simulate.add_argument("--io-coalesce", type=int, default=8)
+    simulate.add_argument(
+        "--retention", choices=("full", "bounded"), default="full",
+        help="record retention: 'bounded' folds every query into the "
+             "streaming aggregates and keeps no per-query records "
+             "(constant memory for any --repeat)",
+    )
     simulate.add_argument("--seed", type=int, default=0)
     simulate.set_defaults(handler=_cmd_simulate)
 

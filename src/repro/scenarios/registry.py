@@ -647,6 +647,81 @@ register(
 )
 
 
+# ---------------------------------------------------------------------
+# Warehouse scale: bounded-memory open-system runs far past the session
+# counts the closed sweeps can reach
+# ---------------------------------------------------------------------
+
+#: Shared base for the warehouse-scale family: the tiny schema spread
+#: over a wide 128-disk / 32-node array so per-query service time is
+#: sub-millisecond and the session count — not the hardware — is the
+#: scaling axis.  Admission stays MPL-capped so the in-flight set is
+#: bounded, and retention defaults to "bounded" so aggregate memory is
+#: O(1) in the query count (the point of the family).
+_WAREHOUSE_BASE = RunSpec(
+    run_id="",
+    query="1MONTH",
+    fragmentation=F_MONTH_GROUP,
+    mode=MODE_OPEN_SYSTEM,
+    schema="tiny",
+    n_disks=128,
+    n_nodes=32,
+    t=2,
+    streams=10_000,
+    queries_per_stream=1,
+    arrival_process="poisson",
+    arrival_rate_qps=50.0,
+    max_mpl=32,
+    record_retention="bounded",
+)
+
+register(
+    ScenarioSpec(
+        name="warehouse_smoke",
+        title="CI smoke: warehouse-scale retention modes on a tiny burst",
+        description=(
+            "Two sub-second 256-session points on the warehouse "
+            "hardware, one per retention mode: bounded retention drops "
+            "every per-query record yet reports byte-identical "
+            "aggregates, so the perf-smoke golden pins the streaming "
+            "accumulators against the full-retention path."
+        ),
+        runs=(
+            replace(_WAREHOUSE_BASE, run_id="full256", streams=256,
+                    record_retention="full"),
+            replace(_WAREHOUSE_BASE, run_id="bounded256", streams=256),
+        ),
+        fast_run_ids=("bounded256",),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="warehouse_scale",
+        title="Warehouse scale: bounded-memory sessions sweep (10^4-10^5)",
+        description=(
+            "Poisson session counts swept to 10^5 on 128 disks with "
+            "bounded retention: peak RSS stays flat across a 10x query "
+            "count while percentile sketches and exact streaming sums "
+            "keep the reported aggregates deterministic.  The 10^4 pair "
+            "(full vs bounded) is the fast subset and doubles as the "
+            "retention ablation; the 10^5 point is tier-2 only."
+        ),
+        runs=(
+            replace(_WAREHOUSE_BASE, run_id="sessions10000_full",
+                    record_retention="full"),
+            replace(_WAREHOUSE_BASE, run_id="sessions10000"),
+            replace(_WAREHOUSE_BASE, run_id="sessions100000",
+                    streams=100_000, arrival_rate_qps=100.0),
+        ),
+        fast_run_ids=("sessions10000_full", "sessions10000"),
+        # Each point is its own long-running simulation; never group two
+        # behind one worker.
+        chunk_size=1,
+    )
+)
+
+
 register(
     ScenarioSpec(
         name="smoke_tiny",

@@ -128,6 +128,25 @@ class RunResult:
     metrics: dict
     #: Host wall-clock seconds; excluded from determinism checks.
     wall_clock_s: float
+    #: Process peak RSS (KiB) sampled right after the run finished — a
+    #: high-water mark of the executing process, so across the runs of
+    #: one worker it is monotone.  Diagnostics only: excluded from the
+    #: fingerprint and zeroed in stable reports, like wall_clock_s.
+    peak_rss_kb: float = 0.0
+
+
+def _peak_rss_kb() -> float:
+    """The process's lifetime peak RSS in KiB (0.0 if unavailable)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0.0
+    peak = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss in bytes
+        peak /= 1024.0
+    return peak
 
 
 def _round6(value: float) -> float:
@@ -210,8 +229,14 @@ def _multi_user_metrics(run: RunSpec) -> dict:
     }
 
 
+#: Largest stream count whose per-stream rollup is emitted into the
+#: metrics payload; beyond it the rollup would dwarf every other key.
+_PER_STREAM_METRIC_CAP = 512
+
+
 def _open_system_metrics(run: RunSpec) -> dict:
     from repro.sim.simulator import ParallelWarehouseSimulator
+    from repro.workload.queries import query_type
 
     schema = _schema_for(run)
     simulator = ParallelWarehouseSimulator(
@@ -220,10 +245,27 @@ def _open_system_metrics(run: RunSpec) -> dict:
         run.sim_params(),
         database=_database_for(run, schema),
     )
+    # Sessions are instantiated lazily at their arrival instants: each
+    # session's queries draw from their own derived RNG, so the factory
+    # path is byte-identical to materialising every stream up front —
+    # but nothing here grows with the session count (warehouse scale).
+    template = query_type(run.query)
+
+    def session_queries(session: int) -> list:
+        return [
+            template.instantiate(
+                schema,
+                random.Random(
+                    run.seed + run.stream_seed_stride * session + q
+                ),
+            )
+            for q in range(run.queries_per_stream)
+        ]
+
     result = simulator.run_open_system(
-        _session_streams(run, schema), run.workload_params()
+        run.streams, run.workload_params(), query_factory=session_queries
     )
-    return {
+    metrics = {
         "sessions": run.streams,
         "query_count": result.query_count,
         "session_arrival_rate_qps": run.arrival_rate_qps,
@@ -242,10 +284,6 @@ def _open_system_metrics(run: RunSpec) -> dict:
         "max_queue_delay_s": _round6(result.max_queue_delay),
         "avg_total_delay_s": _round6(result.avg_total_delay),
         "p95_total_delay_s": _round6(result.total_delay_percentile(95)),
-        "per_stream_avg_response_s": {
-            str(stream): _round6(stats.avg_response_time)
-            for stream, stats in result.per_stream().items()
-        },
         "peak_mpl": result.peak_mpl,
         "peak_queue_length": result.peak_queue_length,
         "queued_arrivals": result.queued_arrivals,
@@ -255,6 +293,23 @@ def _open_system_metrics(run: RunSpec) -> dict:
         "avg_cpu_utilization": _round6(result.avg_cpu_utilization),
         "event_count": result.event_count,
     }
+    if run.record_retention == "full" and run.streams <= _PER_STREAM_METRIC_CAP:
+        # Per-stream rollups exist only while records are retained;
+        # the key's presence/absence is part of the (deterministic)
+        # metrics payload, so pre-existing goldens are untouched.  Past
+        # the cap the dict would dominate the golden file (one entry
+        # per session at warehouse scale), so it is omitted — every
+        # pre-existing open scenario sits far below the cap.
+        metrics["per_stream_avg_response_s"] = {
+            str(stream): _round6(stats.avg_response_time)
+            for stream, stats in result.per_stream().items()
+        }
+    else:
+        # Deterministic evidence of boundedness, pinned by the
+        # fingerprint of the bounded scenarios' goldens.
+        metrics["records_retained"] = result.records_retained
+        metrics["percentile_source"] = result.percentile_source
+    return metrics
 
 
 def _analytic_metrics(run: RunSpec) -> dict:
@@ -293,6 +348,7 @@ def execute_run(run: RunSpec) -> RunResult:
         config_hash=run.config_hash(),
         metrics=metrics,
         wall_clock_s=time.perf_counter() - started,
+        peak_rss_kb=_peak_rss_kb(),
     )
 
 
@@ -418,14 +474,15 @@ class BenchReport:
 
     def to_json_dict(self, stable: bool = False) -> dict:
         """JSON-ready report; ``stable=True`` zeroes every host
-        wall-clock field (and drops the derived wall-clock block) so two
-        same-seed runs serialise byte-identically."""
+        measurement (wall-clock and peak-RSS fields, plus the derived
+        wall_clock/resources blocks) so two same-seed runs serialise
+        byte-identically."""
         derived = self.derived
-        if stable and "wall_clock" in derived:
+        if stable:
             derived = {
                 key: value
                 for key, value in derived.items()
-                if key != "wall_clock"
+                if key not in ("wall_clock", "resources")
             }
         return {
             "bench_schema_version": BENCH_SCHEMA_VERSION,
@@ -441,6 +498,9 @@ class BenchReport:
                     "config_hash": result.config_hash,
                     "metrics": result.metrics,
                     "wall_clock_s": 0.0 if stable else round(result.wall_clock_s, 3),
+                    "peak_rss_kb": 0.0 if stable else round(
+                        getattr(result, "peak_rss_kb", 0.0), 1
+                    ),
                 }
                 for result in self.runs
             ],
@@ -469,6 +529,13 @@ def _derived_metrics(runs: list[RunResult]) -> dict:
             "max_run_s": round(max(r.wall_clock_s for r in runs), 3),
             "slowest_run": max(runs, key=lambda r: r.wall_clock_s).run_id,
         }
+        peak = max(getattr(r, "peak_rss_kb", 0.0) for r in runs)
+        if peak > 0:
+            # Peak RSS across the executing processes (ru_maxrss is a
+            # per-process high-water mark, so under sharding this is
+            # the hungriest worker).  Unhashed host diagnostics, like
+            # the wall-clock block.
+            derived["resources"] = {"peak_rss_kb": round(peak, 1)}
     open_runs = [r for r in runs if "offered_load_qps" in r.metrics]
     if open_runs:
         # Throughput-vs-offered-load curve: the saturation/knee view the
@@ -586,6 +653,9 @@ class ScenarioRunner:
         #: Optional ``callback(descriptions)`` fired after the pre-fork
         #: cache warm-up, with one description line per built database.
         self.on_warm = on_warm
+        #: Host diagnostics of the last :meth:`execute` (see
+        #: :func:`repro.scenarios.shard.summarize_outcomes`).
+        self.last_shard_summary: dict = {}
         if self.scenario.kind != KIND_STATIC:
             # Validate the run selection eagerly: unknown run ids and an
             # empty selection raise ValueError here, in the caller's
@@ -641,6 +711,7 @@ class ScenarioRunner:
             execute_shard,
             merge_outcomes,
             raise_shard_error,
+            summarize_outcomes,
             warm_caches,
         )
 
@@ -654,6 +725,7 @@ class ScenarioRunner:
                 if outcome.error is not None:
                     raise_shard_error(outcome)
                 outcomes.append(outcome)
+            self.last_shard_summary = summarize_outcomes(plan, outcomes)
             return merge_outcomes(plan, outcomes)
         from concurrent.futures import ProcessPoolExecutor, as_completed
         from concurrent.futures.process import BrokenProcessPool
@@ -718,6 +790,7 @@ class ScenarioRunner:
                 ) from exc
         if failed is not None:
             raise_shard_error(failed)
+        self.last_shard_summary = summarize_outcomes(plan, outcomes)
         return merge_outcomes(plan, outcomes)
 
     def run(self) -> BenchReport:
@@ -739,11 +812,18 @@ class ScenarioRunner:
                     config_hash="static",
                     metrics=metrics,
                     wall_clock_s=time.perf_counter() - run_started,
+                    peak_rss_kb=_peak_rss_kb(),
                 )
             )
         else:
             report.runs.extend(self.execute(self.plan()))
             report.derived = _derived_metrics(report.runs)
+            if self.last_shard_summary and "wall_clock" in report.derived:
+                # Shard-level host diagnostics ride in the unhashed
+                # wall-clock block (dropped from stable reports).
+                report.derived["wall_clock"]["shards"] = dict(
+                    self.last_shard_summary
+                )
         report.wall_clock_s = time.perf_counter() - started
         return report
 
@@ -848,6 +928,14 @@ def validate_report(data: dict) -> None:
             and entry["wall_clock_s"] >= 0,
             f"run {entry['run_id']!r} has invalid wall_clock_s",
         )
+        if "peak_rss_kb" in entry:
+            # Optional diagnostics: reports written before the field
+            # existed (committed goldens) simply lack it.
+            require(
+                isinstance(entry["peak_rss_kb"], (int, float))
+                and entry["peak_rss_kb"] >= 0,
+                f"run {entry['run_id']!r} has invalid peak_rss_kb",
+            )
     # The fingerprint must match the recomputed projection (physical
     # metrics only — engine-internal counters are not hashed).
     projection = {

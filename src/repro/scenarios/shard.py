@@ -93,6 +93,10 @@ class ShardOutcome:
     results: tuple = ()
     error: ShardError | None = None
     wall_clock_s: float = 0.0
+    #: Peak RSS (KiB) of the process that executed the shard, sampled
+    #: when the shard finished.  A per-process high-water mark: under a
+    #: pool it reflects the worker, on the serial path the driver.
+    peak_rss_kb: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -234,7 +238,7 @@ def execute_shard(shard: Shard, keep_exception: bool = False) -> ShardOutcome:
     ``keep_exception`` attaches the live exception object to the error
     (in-process callers only — see :attr:`ShardError.exception`).
     """
-    from repro.scenarios.runner import execute_run
+    from repro.scenarios.runner import _peak_rss_kb, execute_run
 
     started = perf_counter()
     results = []
@@ -252,11 +256,13 @@ def execute_shard(shard: Shard, keep_exception: bool = False) -> ShardOutcome:
                     exception=exc if keep_exception else None,
                 ),
                 wall_clock_s=perf_counter() - started,
+                peak_rss_kb=_peak_rss_kb(),
             )
     return ShardOutcome(
         index=shard.index,
         results=tuple(results),
         wall_clock_s=perf_counter() - started,
+        peak_rss_kb=_peak_rss_kb(),
     )
 
 
@@ -276,6 +282,50 @@ def raise_shard_error(outcome: ShardOutcome) -> None:
     ) from error.exception
 
 
+def merge_simulation_results(results: Iterable) -> "object":
+    """Merge :class:`~repro.sim.metrics.SimulationResult` shards.
+
+    The aggregate-merge entry point for splitting one simulation's
+    *record stream* (e.g. the session axis of an open-system run)
+    across shards: accumulator states combine instead of concatenating
+    per-query record lists, so the merged aggregates are byte-identical
+    to the serial run's in any split and any merge order — including
+    empty shards (the property suite pins this).
+    """
+    from repro.sim.metrics import SimulationResult
+
+    return SimulationResult.merged(list(results))
+
+
+def summarize_outcomes(
+    plan: ShardPlan, outcomes: Iterable[ShardOutcome]
+) -> dict:
+    """Order-invariant aggregate of the shards' host diagnostics.
+
+    Wall clocks add (and track the slowest shard); peak RSS takes the
+    maximum across the executing processes — the associative merge for
+    each diagnostic, mirroring how :meth:`SimulationResult.merge`
+    treats its own sums and peaks.  Purely host-side: never part of
+    the metrics fingerprint.
+    """
+    outcome_list = sorted(outcomes, key=lambda outcome: outcome.index)
+    if not outcome_list:
+        return {}
+    slowest = max(outcome_list, key=lambda outcome: outcome.wall_clock_s)
+    return {
+        "shards": len(outcome_list),
+        "jobs": plan.jobs,
+        "total_wall_clock_s": round(
+            sum(outcome.wall_clock_s for outcome in outcome_list), 3
+        ),
+        "max_shard_wall_clock_s": round(slowest.wall_clock_s, 3),
+        "slowest_shard": slowest.index,
+        "peak_rss_kb": round(
+            max(outcome.peak_rss_kb for outcome in outcome_list), 1
+        ),
+    }
+
+
 def merge_outcomes(
     plan: ShardPlan, outcomes: Iterable[ShardOutcome]
 ) -> list:
@@ -285,6 +335,11 @@ def merge_outcomes(
     order the shards completed in.  Raises :class:`ShardExecutionError`
     naming the failing run point if any shard reported an error, and
     ``ValueError`` if outcomes are missing, duplicated, or unknown.
+
+    What is merged here are per-run *aggregate* results (each
+    ``RunResult.metrics`` is a finished aggregate dict) — never
+    per-query record lists; record streams split within one simulation
+    merge through :func:`merge_simulation_results` instead.
     """
     by_index: dict[int, ShardOutcome] = {}
     for outcome in outcomes:

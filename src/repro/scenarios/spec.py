@@ -103,6 +103,16 @@ class RunSpec:
     #: Mean exponential think time between a session's queries (hybrid).
     think_time_s: float = 0.0
 
+    #: Record retention for the run's SimulationResult: "full" keeps
+    #: per-query records and per-stream rollups; "bounded" folds every
+    #: query into the streaming aggregates and drops the record, so
+    #: memory stays O(1) in the query count (the warehouse-scale mode).
+    #: A scheduling knob — it never changes the simulated physics.
+    #: Like the open-system fields, it entered the schema after goldens
+    #: were committed: config_dict() includes it only at non-default
+    #: values, so every pre-existing run point hashes exactly as before.
+    record_retention: str = "full"
+
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -130,6 +140,22 @@ class RunSpec:
         else:
             # Constructing the WorkloadParameters validates every knob.
             self.workload_params()
+        if self.record_retention not in ("full", "bounded"):
+            raise ValueError(
+                "record_retention must be 'full' or 'bounded', "
+                f"got {self.record_retention!r}"
+            )
+        if (
+            self.record_retention != "full"
+            and self.mode not in (MODE_MULTI_USER, MODE_OPEN_SYSTEM)
+        ):
+            # Single-user/analytic metrics read individual records
+            # (e.g. the per-query I/O breakdown), so bounded retention
+            # only makes sense where aggregates are the whole payload.
+            raise ValueError(
+                "record_retention='bounded' requires mode "
+                f"{MODE_MULTI_USER!r} or {MODE_OPEN_SYSTEM!r}"
+            )
 
     # -----------------------------------------------------------------
     def parsed_fragmentation(self) -> Fragmentation:
@@ -165,6 +191,8 @@ class RunSpec:
         )
         if self.mode == MODE_OPEN_SYSTEM:
             params = replace(params, workload=self.workload_params())
+        if self.record_retention != "full":
+            params = replace(params, record_retention=self.record_retention)
         if self.disk_degradation != 1.0:
             d = params.disk
             params = replace(
@@ -192,6 +220,11 @@ class RunSpec:
         if self.mode != MODE_OPEN_SYSTEM:
             for name in _OPEN_SYSTEM_FIELDS:
                 del config[name]
+        if self.record_retention == "full":
+            # Default retention stays out of the hash for the same
+            # reason the open-system knobs do: pre-existing run points
+            # must keep their committed config_hash.
+            del config["record_retention"]
         return config
 
     def config_hash(self) -> str:

@@ -31,7 +31,11 @@ from repro.sim.config import (
 from repro.sim.engine import AllOf, Environment, Event
 from repro.sim.reference import ReferenceEnvironment
 from repro.sim.metrics import (
+    ExactSum,
+    PercentileSketch,
     QueryMetrics,
+    RETENTION_BOUNDED,
+    RETENTION_FULL,
     SimulationResult,
     StreamStats,
     percentile,
@@ -47,7 +51,11 @@ __all__ = [
     "HardwareParameters",
     "SimulationParameters",
     "WorkloadParameters",
+    "ExactSum",
+    "PercentileSketch",
     "QueryMetrics",
+    "RETENTION_BOUNDED",
+    "RETENTION_FULL",
     "SimulationResult",
     "StreamStats",
     "percentile",

@@ -153,6 +153,13 @@ class SimulationParameters:
     #: (the "degree of parallelism" axis of Figure 6); None = only the
     #: per-node limit applies.
     max_concurrent_subqueries: int | None = None
+    #: Record retention for the run's :class:`SimulationResult`:
+    #: ``"full"`` keeps per-query records and per-stream rollups (the
+    #: historical behaviour), ``"bounded"`` folds each query into the
+    #: streaming aggregates and drops the record, so memory stays O(1)
+    #: in the query count (warehouse-scale open runs).  A scheduling
+    #: knob: it never changes the simulated physics.
+    record_retention: str = "full"
     #: Seed for the (small) stochastic choices: coordinator node and
     #: query parameter selection.
     seed: int = 0
@@ -168,6 +175,11 @@ class SimulationParameters:
             raise ValueError("cluster_factor must be >= 1")
         if self.data_skew < 0:
             raise ValueError("data_skew must be non-negative")
+        if self.record_retention not in ("full", "bounded"):
+            raise ValueError(
+                "record_retention must be 'full' or 'bounded', "
+                f"got {self.record_retention!r}"
+            )
 
     def with_hardware(self, **kwargs) -> "SimulationParameters":
         """A copy with hardware fields replaced (d, p, t sweeps)."""

@@ -1,4 +1,4 @@
-"""Metrics collected by simulation runs.
+"""Streaming metrics collected by simulation runs.
 
 Closed-stream runs (single-user, multi-user) populate the response-time
 and I/O counters; open-system runs additionally record *when* each query
@@ -6,12 +6,60 @@ arrived and was admitted, so queueing delay (arrival -> admission) is
 separated from service time (admission -> completion).  Aggregates that
 need at least one query raise a uniform ``ValueError("no queries were
 executed")`` instead of leaking opaque builtin errors.
+
+Every aggregate is maintained *online*: :meth:`SimulationResult.record`
+folds one :class:`QueryMetrics` into constant-size accumulators, so a
+run's memory footprint no longer grows with its query count.  The pieces
+are
+
+* :class:`ExactSum` — a Shewchuk exact-partials accumulator whose final
+  value is the correctly rounded sum of everything ever added, in *any*
+  insertion or merge order.  Because ``statistics.fmean(xs)`` is exactly
+  ``math.fsum(xs) / len(xs)``, streaming means reproduce the old
+  list-walking means bit for bit.
+* :class:`PercentileSketch` — a deterministic mergeable percentile
+  sketch that stores raw values while the population is at most
+  ``exact_threshold`` (percentiles are then *exact*, identical to
+  sorting the full list) and afterwards collapses to fixed
+  exponent-aligned bins (``math.frexp``-indexed, so binning never
+  depends on platform ``log`` rounding) with ≲1% relative error.
+* per-stream rollups built incrementally while records are retained.
+
+``SimulationResult`` itself has two *record retention* modes:
+``"full"`` (the default — per-query :class:`QueryMetrics` records and
+per-stream rollups are kept, exactly as before) and ``"bounded"``
+(records are folded into the accumulators and dropped, so memory stays
+O(1) in the query count; per-query records and per-stream rollups are
+unavailable).  Aggregates are identical in both modes until the
+percentile sketches pass their exactness threshold.
+
+Results are mergeable: :meth:`SimulationResult.merge` combines two
+results into a new one, and the operation is associative and
+shard-order-invariant — every aggregate of the merged result is byte
+identical no matter how the underlying record stream was split or in
+which order the pieces were merged.
 """
 
 from __future__ import annotations
 
+import math
 import statistics
 from dataclasses import dataclass, field
+
+#: Record-retention modes for :class:`SimulationResult`.
+RETENTION_FULL = "full"
+RETENTION_BOUNDED = "bounded"
+RETENTION_MODES = (RETENTION_FULL, RETENTION_BOUNDED)
+
+#: Default population size up to which percentile sketches stay exact.
+#: Every pre-existing scenario runs far fewer queries per point, so
+#: their percentiles keep coming from the full sorted sample.
+PERCENTILE_EXACT_THRESHOLD = 4096
+
+#: Sub-bins per power-of-two octave once a sketch has collapsed.  A
+#: power of two, so bin boundaries are exact dyadic rationals: relative
+#: bin width is 1/64 ≈ 1.6%.
+_SKETCH_SUBBINS = 64
 
 
 def percentile(values: list[float], p: float) -> float:
@@ -33,6 +81,236 @@ def percentile(values: list[float], p: float) -> float:
     high = min(low + 1, len(ordered) - 1)
     fraction = rank - low
     return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+def _grow_partials(partials: list[float], value: float) -> None:
+    """Fold ``value`` into a Shewchuk non-overlapping partials list.
+
+    After the call the partials represent the *exact* real sum of
+    everything folded in so far (no rounding has happened yet), which is
+    what makes the accumulator order- and grouping-invariant.
+    """
+    x = value
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
+
+
+class ExactSum:
+    """Streaming float sum, exact until the final rounding.
+
+    ``value`` equals ``math.fsum`` of every float ever added — bit for
+    bit, in any insertion order — because the internal partials always
+    represent the exact (unrounded) running sum.  Merging two
+    accumulators folds one's partials into the other, which preserves
+    exactness, so merge is associative and order-invariant too.
+    """
+
+    __slots__ = ("partials",)
+
+    def __init__(self, partials: list[float] | None = None):
+        self.partials: list[float] = list(partials) if partials else []
+
+    def add(self, value: float) -> None:
+        _grow_partials(self.partials, value)
+
+    def merge(self, other: "ExactSum") -> None:
+        for partial in other.partials:
+            _grow_partials(self.partials, partial)
+
+    def copy(self) -> "ExactSum":
+        return ExactSum(self.partials)
+
+    @property
+    def value(self) -> float:
+        return math.fsum(self.partials)
+
+
+class PercentileSketch:
+    """Deterministic mergeable percentile sketch, exact below a threshold.
+
+    While the population is at most ``exact_threshold`` the sketch keeps
+    the raw values and :meth:`percentile` is *exact* — identical to
+    sorting the full sample.  Past the threshold the values collapse
+    into fixed exponent-aligned bins: a positive value ``v`` with
+    ``frexp(v) = (m, e)`` lands in sub-bin ``int((2m - 1) * 64)`` of
+    octave ``e`` (zero gets a dedicated bin), so bin boundaries are
+    exact dyadic rationals independent of platform ``log`` rounding and
+    the relative within-bin error is at most 1/64.  Because the binning
+    of a value never depends on the sketch's state, the collapsed form
+    is a pure function of the recorded multiset — which makes merging
+    associative and order-invariant by construction.
+
+    Only non-negative finite values are accepted (response times and
+    queueing delays are).
+    """
+
+    __slots__ = ("exact_threshold", "count", "_values", "_zero", "_bins",
+                 "_min", "_max")
+
+    def __init__(self, exact_threshold: int = PERCENTILE_EXACT_THRESHOLD):
+        if exact_threshold < 1:
+            raise ValueError("exact_threshold must be >= 1")
+        self.exact_threshold = exact_threshold
+        self.count = 0
+        self._values: list[float] | None = []
+        self._zero = 0
+        self._bins: dict[int, int] = {}
+        self._min = math.inf
+        self._max = -math.inf
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether percentiles still come from the full raw sample."""
+        return self._values is not None
+
+    @property
+    def minimum(self) -> float:
+        if not self.count:
+            raise ValueError("no values to take a percentile of")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if not self.count:
+            raise ValueError("no values to take a percentile of")
+        return self._max
+
+    @staticmethod
+    def _bin_index(value: float) -> int:
+        # frexp gives value = m * 2**e with m in [0.5, 1); both the
+        # scaling and the subtraction below are exact, so the sub-bin
+        # is a pure function of the value's bits.
+        m, e = math.frexp(value)
+        sub = int((m * 2.0 - 1.0) * _SKETCH_SUBBINS)
+        return e * _SKETCH_SUBBINS + sub
+
+    @staticmethod
+    def _bin_bounds(index: int) -> tuple[float, float]:
+        e, sub = divmod(index, _SKETCH_SUBBINS)
+        lower = math.ldexp(0.5 + sub / (2 * _SKETCH_SUBBINS), e)
+        upper = math.ldexp(0.5 + (sub + 1) / (2 * _SKETCH_SUBBINS), e)
+        return lower, upper
+
+    def _bin(self, value: float) -> None:
+        if value == 0.0:
+            self._zero += 1
+        else:
+            index = self._bin_index(value)
+            self._bins[index] = self._bins.get(index, 0) + 1
+
+    def _collapse(self) -> None:
+        values, self._values = self._values, None
+        for value in values:
+            self._bin(value)
+
+    def record(self, value: float) -> None:
+        if not (value >= 0.0) or math.isinf(value):
+            raise ValueError(
+                "percentile sketch values must be finite and non-negative"
+            )
+        self.count += 1
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if self._values is not None:
+            self._values.append(value)
+            if len(self._values) > self.exact_threshold:
+                self._collapse()
+        else:
+            self._bin(value)
+
+    def merge(self, other: "PercentileSketch") -> None:
+        """Fold ``other`` into this sketch (associative, order-invariant)."""
+        if self.exact_threshold != other.exact_threshold:
+            raise ValueError(
+                "cannot merge percentile sketches with different "
+                "exactness thresholds"
+            )
+        self.count += other.count
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        if (
+            self._values is not None
+            and other._values is not None
+            and self.count <= self.exact_threshold
+        ):
+            self._values.extend(other._values)
+            return
+        if self._values is not None:
+            self._collapse()
+        if other._values is not None:
+            for value in other._values:
+                self._bin(value)
+        else:
+            self._zero += other._zero
+            for index, n in other._bins.items():
+                self._bins[index] = self._bins.get(index, 0) + n
+
+    def copy(self) -> "PercentileSketch":
+        clone = PercentileSketch(self.exact_threshold)
+        clone.count = self.count
+        clone._values = None if self._values is None else list(self._values)
+        clone._zero = self._zero
+        clone._bins = dict(self._bins)
+        clone._min = self._min
+        clone._max = self._max
+        return clone
+
+    def _order_statistic(self, k: int, ordered_bins: list[int]) -> float:
+        """Estimated k-th smallest recorded value (binned mode).
+
+        The k-th occupant's bin is located by cumulative counts; its
+        position within the bin is taken as the occupant's midpoint, so
+        the estimate sits strictly inside the bin holding the true
+        order statistic (error at most one bin width).
+        """
+        if k < self._zero:
+            return 0.0
+        cumulative = self._zero
+        for index in ordered_bins:
+            occupants = self._bins[index]
+            if k < cumulative + occupants:
+                lower, upper = self._bin_bounds(index)
+                fraction = (k - cumulative + 0.5) / occupants
+                return lower + (upper - lower) * fraction
+            cumulative += occupants
+        return self._max
+
+    def percentile(self, p: float) -> float:
+        if not self.count:
+            raise ValueError("no values to take a percentile of")
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be between 0 and 100")
+        if self._values is not None:
+            return percentile(self._values, p)
+        rank = (p / 100.0) * (self.count - 1)
+        if rank <= 0:
+            return self._min
+        if rank >= self.count - 1:
+            return self._max
+        # Mirror the exact path: interpolate between the two bracketing
+        # order statistics, each estimated within its own bin, so bin
+        # gaps never inflate the error past one bin width.
+        ordered_bins = sorted(self._bins)
+        low = int(rank)
+        fraction = rank - low
+        estimate = self._order_statistic(low, ordered_bins)
+        if fraction:
+            above = self._order_statistic(low + 1, ordered_bins)
+            estimate += (above - estimate) * fraction
+        # The exact minimum/maximum are tracked outside the bins; clamp
+        # so estimates never escape the observed range.
+        return min(max(estimate, self._min), self._max)
 
 
 @dataclass(frozen=True)
@@ -75,86 +353,257 @@ class StreamStats:
     avg_queue_delay: float
 
 
-@dataclass
-class SimulationResult:
-    """Aggregate outcome of one simulation run (a query stream)."""
+class _StreamAccumulator:
+    """Incremental per-stream rollup (count + exact sums)."""
 
-    queries: list[QueryMetrics] = field(default_factory=list)
-    elapsed: float = 0.0
-    disk_busy: list[float] = field(default_factory=list)
-    disk_seek: list[float] = field(default_factory=list)
-    cpu_busy: list[float] = field(default_factory=list)
-    buffer_hits: int = 0
-    buffer_misses: int = 0
-    event_count: int = 0
-    #: Open-system admission statistics (zero for closed-stream runs).
-    peak_mpl: int = 0
-    peak_queue_length: int = 0
-    queued_arrivals: int = 0
+    __slots__ = ("count", "response", "queue")
+
+    def __init__(self):
+        self.count = 0
+        self.response = ExactSum()
+        self.queue = ExactSum()
+
+    def merge(self, other: "_StreamAccumulator") -> None:
+        self.count += other.count
+        self.response.merge(other.response)
+        self.queue.merge(other.queue)
+
+    def copy(self) -> "_StreamAccumulator":
+        clone = _StreamAccumulator()
+        clone.count = self.count
+        clone.response = self.response.copy()
+        clone.queue = self.queue.copy()
+        return clone
+
+
+class SimulationResult:
+    """Aggregate outcome of one simulation run (a query stream).
+
+    Aggregates are maintained online by :meth:`record` — feeding one
+    :class:`QueryMetrics` at a time — so they cost O(1) memory per
+    query.  ``retention`` controls whether the raw records are *also*
+    kept on :attr:`queries`:
+
+    * ``"full"`` (default): records and per-stream rollups are
+      retained, exactly like the historical list-backed result.
+    * ``"bounded"``: records are dropped after folding; memory stays
+      constant in the query count.  :attr:`queries` stays empty and
+      :meth:`per_stream` is unavailable.
+
+    :meth:`record` is the only supported write path for query metrics —
+    appending to :attr:`queries` directly would bypass the accumulators.
+    """
+
+    def __init__(
+        self,
+        queries: list[QueryMetrics] | None = None,
+        elapsed: float = 0.0,
+        disk_busy: list[float] | None = None,
+        disk_seek: list[float] | None = None,
+        cpu_busy: list[float] | None = None,
+        buffer_hits: int = 0,
+        buffer_misses: int = 0,
+        event_count: int = 0,
+        peak_mpl: int = 0,
+        peak_queue_length: int = 0,
+        queued_arrivals: int = 0,
+        retention: str = RETENTION_FULL,
+        exact_percentile_threshold: int = PERCENTILE_EXACT_THRESHOLD,
+    ):
+        if retention not in RETENTION_MODES:
+            raise ValueError(
+                f"retention must be one of {RETENTION_MODES}, "
+                f"got {retention!r}"
+            )
+        self.retention = retention
+        self.elapsed = elapsed
+        self.buffer_hits = buffer_hits
+        self.buffer_misses = buffer_misses
+        self.event_count = event_count
+        #: Open-system admission statistics (zero for closed-stream runs).
+        self.peak_mpl = peak_mpl
+        self.peak_queue_length = peak_queue_length
+        self.queued_arrivals = queued_arrivals
+
+        #: Raw records; populated only under full retention.
+        self.queries: list[QueryMetrics] = []
+
+        self._count = 0
+        self._total_pages = 0
+        self._response_sum = ExactSum()
+        self._queue_sum = ExactSum()
+        self._total_delay_sum = ExactSum()
+        self._response_max = -math.inf
+        self._queue_max = -math.inf
+        self._response_sketch = PercentileSketch(exact_percentile_threshold)
+        self._queue_sketch = PercentileSketch(exact_percentile_threshold)
+        self._total_delay_sketch = PercentileSketch(exact_percentile_threshold)
+        self._streams: dict[int, _StreamAccumulator] = {}
+
+        # Device accounting: each entry is an exact partials list so
+        # merged results stay byte-identical in any merge order.  The
+        # plain-float views are exposed via the properties below.
+        self._disk_busy: list[list[float]] = []
+        self._disk_seek: list[list[float]] = []
+        self._cpu_busy: list[list[float]] = []
+        if disk_busy is not None:
+            self.disk_busy = disk_busy
+        if disk_seek is not None:
+            self.disk_seek = disk_seek
+        if cpu_busy is not None:
+            self.cpu_busy = cpu_busy
+
+        for query in queries or []:
+            self.record(query)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulationResult(queries={self._count}, "
+            f"retention={self.retention!r}, elapsed={self.elapsed!r})"
+        )
+
+    # -- device accounting -------------------------------------------------
+
+    @staticmethod
+    def _device_view(partials: list[list[float]]) -> list[float]:
+        return [math.fsum(entry) for entry in partials]
+
+    @staticmethod
+    def _device_store(values: list[float]) -> list[list[float]]:
+        return [[float(value)] if value else [] for value in values]
+
+    @property
+    def disk_busy(self) -> list[float]:
+        return self._device_view(self._disk_busy)
+
+    @disk_busy.setter
+    def disk_busy(self, values: list[float]) -> None:
+        self._disk_busy = self._device_store(values)
+
+    @property
+    def disk_seek(self) -> list[float]:
+        return self._device_view(self._disk_seek)
+
+    @disk_seek.setter
+    def disk_seek(self, values: list[float]) -> None:
+        self._disk_seek = self._device_store(values)
+
+    @property
+    def cpu_busy(self) -> list[float]:
+        return self._device_view(self._cpu_busy)
+
+    @cpu_busy.setter
+    def cpu_busy(self, values: list[float]) -> None:
+        self._cpu_busy = self._device_store(values)
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, query: QueryMetrics) -> None:
+        """Fold one query's measurements into the streaming aggregates."""
+        self._count += 1
+        self._total_pages += query.total_pages
+        self._response_sum.add(query.response_time)
+        self._queue_sum.add(query.queue_delay)
+        self._total_delay_sum.add(query.total_delay)
+        if query.response_time > self._response_max:
+            self._response_max = query.response_time
+        if query.queue_delay > self._queue_max:
+            self._queue_max = query.queue_delay
+        self._response_sketch.record(query.response_time)
+        self._queue_sketch.record(query.queue_delay)
+        self._total_delay_sketch.record(query.total_delay)
+        if self.retention == RETENTION_FULL:
+            self.queries.append(query)
+            rollup = self._streams.get(query.stream)
+            if rollup is None:
+                rollup = self._streams[query.stream] = _StreamAccumulator()
+            rollup.count += 1
+            rollup.response.add(query.response_time)
+            rollup.queue.add(query.queue_delay)
+
+    # -- aggregates --------------------------------------------------------
 
     def _require_queries(self) -> None:
-        if not self.queries:
+        if not self._count:
             raise ValueError("no queries were executed")
 
     @property
     def query_count(self) -> int:
+        """Queries folded into the aggregates (regardless of retention)."""
+        return self._count
+
+    @property
+    def records_retained(self) -> int:
+        """Raw records currently held (0 under bounded retention)."""
         return len(self.queries)
+
+    @property
+    def exact_percentile_threshold(self) -> int:
+        return self._response_sketch.exact_threshold
+
+    @property
+    def percentile_source(self) -> str:
+        """``"exact"`` while sketches hold raw samples, else ``"sketch"``."""
+        return "exact" if self._response_sketch.is_exact else "sketch"
 
     @property
     def avg_response_time(self) -> float:
         self._require_queries()
-        return statistics.fmean(q.response_time for q in self.queries)
+        return self._response_sum.value / self._count
 
     @property
     def max_response_time(self) -> float:
         self._require_queries()
-        return max(q.response_time for q in self.queries)
+        return self._response_max
 
     @property
     def avg_queue_delay(self) -> float:
         self._require_queries()
-        return statistics.fmean(q.queue_delay for q in self.queries)
+        return self._queue_sum.value / self._count
 
     @property
     def max_queue_delay(self) -> float:
         self._require_queries()
-        return max(q.queue_delay for q in self.queries)
+        return self._queue_max
 
     @property
     def avg_total_delay(self) -> float:
         self._require_queries()
-        return statistics.fmean(q.total_delay for q in self.queries)
+        return self._total_delay_sum.value / self._count
 
     def response_time_percentile(self, p: float) -> float:
         self._require_queries()
-        return percentile([q.response_time for q in self.queries], p)
+        return self._response_sketch.percentile(p)
 
     def queue_delay_percentile(self, p: float) -> float:
         self._require_queries()
-        return percentile([q.queue_delay for q in self.queries], p)
+        return self._queue_sketch.percentile(p)
 
     def total_delay_percentile(self, p: float) -> float:
         self._require_queries()
-        return percentile([q.total_delay for q in self.queries], p)
+        return self._total_delay_sketch.percentile(p)
 
     def per_stream(self) -> dict[int, StreamStats]:
-        """Per-stream aggregates, keyed by stream id (sorted)."""
+        """Per-stream aggregates, keyed by stream id (sorted).
+
+        Available only under full retention: bounded retention drops
+        the per-stream rollup along with the records, because open
+        workloads have one stream per session and the rollup would
+        grow O(sessions).
+        """
         self._require_queries()
-        grouped: dict[int, list[QueryMetrics]] = {}
-        for query in self.queries:
-            grouped.setdefault(query.stream, []).append(query)
+        if self.retention != RETENTION_FULL:
+            raise ValueError(
+                "per-stream rollups are not retained in bounded mode"
+            )
         return {
             stream: StreamStats(
                 stream=stream,
-                query_count=len(members),
-                avg_response_time=statistics.fmean(
-                    q.response_time for q in members
-                ),
-                avg_queue_delay=statistics.fmean(
-                    q.queue_delay for q in members
-                ),
+                query_count=rollup.count,
+                avg_response_time=rollup.response.value / rollup.count,
+                avg_queue_delay=rollup.queue.value / rollup.count,
             )
-            for stream, members in sorted(grouped.items())
+            for stream, rollup in sorted(self._streams.items())
         }
 
     @property
@@ -163,26 +612,139 @@ class SimulationResult:
         self._require_queries()
         if self.elapsed <= 0:
             raise ValueError("no simulated time elapsed")
-        return len(self.queries) / self.elapsed
+        return self._count / self.elapsed
 
     @property
     def avg_disk_utilization(self) -> float:
-        if self.elapsed <= 0 or not self.disk_busy:
+        """Mean disk busy fraction; 0.0 for a diskless configuration."""
+        if self.elapsed <= 0:
+            raise ValueError("no simulated time elapsed")
+        if not self._disk_busy:
             return 0.0
         return statistics.fmean(self.disk_busy) / self.elapsed
 
     @property
     def avg_cpu_utilization(self) -> float:
-        if self.elapsed <= 0 or not self.cpu_busy:
+        """Mean CPU busy fraction; 0.0 for a CPU-less configuration."""
+        if self.elapsed <= 0:
+            raise ValueError("no simulated time elapsed")
+        if not self._cpu_busy:
             return 0.0
         return statistics.fmean(self.cpu_busy) / self.elapsed
 
     @property
     def total_pages(self) -> int:
-        return sum(q.total_pages for q in self.queries)
+        return self._total_pages
 
     def speedup_against(self, baseline: "SimulationResult") -> float:
         """Baseline average response time divided by this run's."""
         self._require_queries()
         baseline._require_queries()
-        return baseline.avg_response_time / self.avg_response_time
+        baseline_avg = baseline.avg_response_time
+        if baseline_avg <= 0:
+            raise ValueError("baseline average response time is zero")
+        return baseline_avg / self.avg_response_time
+
+    # -- merging -----------------------------------------------------------
+
+    @staticmethod
+    def _merge_device(
+        left: list[list[float]], right: list[list[float]]
+    ) -> list[list[float]]:
+        merged = [list(entry) for entry in left]
+        if len(right) > len(merged):
+            merged.extend([] for _ in range(len(right) - len(merged)))
+        for i, entry in enumerate(right):
+            for partial in entry:
+                _grow_partials(merged[i], partial)
+        return merged
+
+    def merge(self, other: "SimulationResult") -> "SimulationResult":
+        """Combine two results into a new one (non-mutating).
+
+        The operation is associative and order-invariant: every
+        aggregate of the merged result is byte-identical no matter how
+        the record stream was split across results or in which order
+        the pieces are merged.  Counts and page/buffer/event totals
+        add; response/delay sums combine exactly; maxima and peaks take
+        the maximum; ``elapsed`` is the maximum (the shards describe
+        one shared simulated timeline); device busy times combine
+        exactly entry by entry.  The merged result keeps full retention
+        (concatenated records and combined rollups) only when *both*
+        inputs do, otherwise it is bounded.
+
+        Under full retention :attr:`queries` concatenates ``self``'s
+        records before ``other``'s — the record *order* follows the
+        merge order even though every aggregate is invariant to it.
+        """
+        if self.exact_percentile_threshold != other.exact_percentile_threshold:
+            raise ValueError(
+                "cannot merge results with different percentile "
+                "exactness thresholds"
+            )
+        retention = (
+            RETENTION_FULL
+            if self.retention == other.retention == RETENTION_FULL
+            else RETENTION_BOUNDED
+        )
+        merged = SimulationResult(
+            elapsed=max(self.elapsed, other.elapsed),
+            buffer_hits=self.buffer_hits + other.buffer_hits,
+            buffer_misses=self.buffer_misses + other.buffer_misses,
+            event_count=self.event_count + other.event_count,
+            peak_mpl=max(self.peak_mpl, other.peak_mpl),
+            peak_queue_length=max(
+                self.peak_queue_length, other.peak_queue_length
+            ),
+            queued_arrivals=self.queued_arrivals + other.queued_arrivals,
+            retention=retention,
+            exact_percentile_threshold=self.exact_percentile_threshold,
+        )
+        merged._count = self._count + other._count
+        merged._total_pages = self._total_pages + other._total_pages
+        for name in ("_response_sum", "_queue_sum", "_total_delay_sum"):
+            combined = getattr(self, name).copy()
+            combined.merge(getattr(other, name))
+            setattr(merged, name, combined)
+        merged._response_max = max(self._response_max, other._response_max)
+        merged._queue_max = max(self._queue_max, other._queue_max)
+        for name in ("_response_sketch", "_queue_sketch",
+                     "_total_delay_sketch"):
+            combined = getattr(self, name).copy()
+            combined.merge(getattr(other, name))
+            setattr(merged, name, combined)
+        merged._disk_busy = self._merge_device(self._disk_busy,
+                                               other._disk_busy)
+        merged._disk_seek = self._merge_device(self._disk_seek,
+                                               other._disk_seek)
+        merged._cpu_busy = self._merge_device(self._cpu_busy,
+                                              other._cpu_busy)
+        if retention == RETENTION_FULL:
+            merged.queries = self.queries + other.queries
+            streams = {k: v.copy() for k, v in self._streams.items()}
+            for stream, rollup in other._streams.items():
+                mine = streams.get(stream)
+                if mine is None:
+                    streams[stream] = rollup.copy()
+                else:
+                    mine.merge(rollup)
+            merged._streams = streams
+        return merged
+
+    @classmethod
+    def merged(cls, results: list["SimulationResult"]) -> "SimulationResult":
+        """Fold a sequence of results left to right (empty -> empty).
+
+        The fold seeds its empty accumulator with the first result's
+        percentile threshold, so a uniformly non-default-threshold
+        sequence folds cleanly (mixed thresholds still refuse to merge).
+        """
+        results = list(results)
+        threshold = (
+            results[0].exact_percentile_threshold
+            if results else PERCENTILE_EXACT_THRESHOLD
+        )
+        combined = cls(exact_percentile_threshold=threshold)
+        for result in results:
+            combined = combined.merge(result)
+        return combined

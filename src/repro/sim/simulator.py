@@ -163,7 +163,7 @@ class ParallelWarehouseSimulator:
                 manager.assume_distinct_accesses()
         rng = random.Random(params.seed)
 
-        result = SimulationResult()
+        result = SimulationResult(retention=params.record_retention)
         for query in queries:
             plan = self.database.plan(query)
             executor = QueryExecutor(
@@ -180,7 +180,7 @@ class ParallelWarehouseSimulator:
             start = env.now
             process = env.process(executor.body())
             env.run_until_event(process.done)
-            result.queries.append(
+            result.record(
                 QueryMetrics(
                     name=query.name or str(query),
                     response_time=env.now - start,
@@ -223,7 +223,7 @@ class ParallelWarehouseSimulator:
         env = Environment()
         disks, nodes, network, buffers = self._fresh_system(env)
 
-        result = SimulationResult()
+        result = SimulationResult(retention=params.record_retention)
 
         def stream_body(stream_id: int, queries: Sequence[StarQuery]):
             for q_index, query in enumerate(queries):
@@ -242,7 +242,7 @@ class ParallelWarehouseSimulator:
                 start = env.now
                 process = env.process(executor.body())
                 yield process.done
-                result.queries.append(
+                result.record(
                     QueryMetrics(
                         name=query.name or str(query),
                         response_time=env.now - start,
@@ -269,8 +269,10 @@ class ParallelWarehouseSimulator:
 
     def run_open_system(
         self,
-        sessions: Sequence[Sequence[StarQuery]],
+        sessions: Sequence[Sequence[StarQuery]] | int,
         workload: WorkloadParameters | None = None,
+        *,
+        query_factory=None,
     ) -> SimulationResult:
         """Execute an open-system workload: sessions *arrive* over time.
 
@@ -283,13 +285,48 @@ class ParallelWarehouseSimulator:
         records queueing delay (arrival -> admission) separately from
         service time (admission -> completion).
 
+        ``sessions`` is either a materialised list of query lists, or a
+        session *count* paired with ``query_factory`` — a callable
+        mapping a session id to that session's query list.  The factory
+        form instantiates each session lazily at its arrival instant
+        and is the bounded-memory path for warehouse-scale runs: with
+        ``record_retention="bounded"`` nothing in the run grows with
+        the session count (beyond admission backlog).  Both forms
+        produce byte-identical results when the factory returns the
+        same queries the list would have held.
+
         All stochastic draws — arrival gaps, think times, coordinator
         choices — come from RNGs derived from ``(seed, site, session,
         query)``, so a run is bit-reproducible under a fixed seed and
         invariant to event-interleaving refactors.
         """
-        if not sessions or not all(sessions):
-            raise ValueError("need at least one non-empty session")
+        if isinstance(sessions, int):
+            if query_factory is None:
+                raise ValueError(
+                    "a session count needs a query_factory to draw "
+                    "each session's queries from"
+                )
+            if sessions < 1:
+                raise ValueError("need at least one session")
+            session_count = sessions
+
+            def session_queries(session_id: int) -> Sequence[StarQuery]:
+                queries = query_factory(session_id)
+                if not queries:
+                    raise ValueError(
+                        f"query_factory produced an empty session "
+                        f"{session_id}"
+                    )
+                return queries
+        else:
+            if query_factory is not None:
+                raise ValueError(
+                    "query_factory only combines with a session count"
+                )
+            if not sessions or not all(sessions):
+                raise ValueError("need at least one non-empty session")
+            session_count = len(sessions)
+            session_queries = sessions.__getitem__
         params = self.params
         workload = workload if workload is not None else params.workload
         arrivals = ArrivalProcess(
@@ -301,9 +338,11 @@ class ParallelWarehouseSimulator:
         disks, nodes, network, buffers = self._fresh_system(env)
         controller = AdmissionController(env, workload.max_mpl)
 
-        result = SimulationResult()
+        result = SimulationResult(retention=params.record_retention)
+        completed_sessions = 0
 
         def session_body(session_id: int, queries: Sequence[StarQuery]):
+            nonlocal completed_sessions
             think_rng = derive_rng(params.seed, "think", session_id)
             for q_index, query in enumerate(queries):
                 if q_index and workload.think_time_s:
@@ -328,7 +367,7 @@ class ParallelWarehouseSimulator:
                 process = env.process(executor.body())
                 yield process.done
                 controller.release()
-                result.queries.append(
+                result.record(
                     QueryMetrics(
                         name=query.name or str(query),
                         response_time=env.now - admitted,
@@ -344,22 +383,29 @@ class ParallelWarehouseSimulator:
                         queue_delay=admitted - arrived,
                     )
                 )
+            completed_sessions += 1
 
-        session_processes: list = []
+        # A counter instead of a list of session processes: completion
+        # tracking must not grow with the session count.
+        spawned_sessions = 0
 
         def source_body():
-            gaps = arrivals.interarrivals(len(sessions), params.seed)
-            for session_id, (gap, queries) in enumerate(zip(gaps, sessions)):
+            nonlocal spawned_sessions
+            gaps = arrivals.iter_interarrivals(session_count, params.seed)
+            for session_id, gap in enumerate(gaps):
                 if gap:
                     yield env.timeout(gap)
-                session_processes.append(
-                    env.process(session_body(session_id, queries))
+                env.process(
+                    session_body(session_id, session_queries(session_id))
                 )
+                spawned_sessions += 1
 
         source = env.process(source_body())
         env.run()
-        if not source.done.triggered or not all(
-            process.done.triggered for process in session_processes
+        if (
+            not source.done.triggered
+            or spawned_sessions != session_count
+            or completed_sessions != session_count
         ):
             raise RuntimeError("an open-system session did not complete")
 

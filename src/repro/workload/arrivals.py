@@ -72,29 +72,46 @@ class ArrivalProcess:
             raise ValueError("burst_size must be >= 1")
 
     # -----------------------------------------------------------------
-    def interarrivals(self, count: int, seed: int) -> list[float]:
-        """``count`` gaps between consecutive arrivals (first gap is the
-        delay of the first arrival after time zero)."""
+    def iter_interarrivals(self, count: int, seed: int):
+        """Lazily yield ``count`` gaps between consecutive arrivals.
+
+        The generator draws each gap on demand, so an open-system run
+        over millions of sessions never materialises the gap list.  The
+        draw sequence — and therefore every yielded value — is
+        identical to :meth:`interarrivals` for the same arguments.
+        """
         if count < 0:
             raise ValueError("count must be non-negative")
         rng = derive_rng(seed, "arrivals", self.kind, self.rate_qps,
                          self.burst_size)
         if self.kind == ARRIVAL_FIXED:
             gap = 1.0 / self.rate_qps
-            return [gap] * count
+            for _ in range(count):
+                yield gap
+            return
         if self.kind == ARRIVAL_POISSON:
             expo = rng.expovariate
             rate = self.rate_qps
-            return [expo(rate) for _ in range(count)]
+            for _ in range(count):
+                yield expo(rate)
+            return
         # Bursty: whole batches share one arrival instant; gaps between
         # batches are exponential with mean burst_size / rate, so the
-        # long-run offered load equals rate_qps.
-        gaps: list[float] = []
+        # long-run offered load equals rate_qps.  One exponential draw
+        # per *emitted* batch head, matching the eager implementation.
         batch_rate = self.rate_qps / self.burst_size
-        while len(gaps) < count:
-            gaps.append(rng.expovariate(batch_rate))
-            gaps.extend([0.0] * min(self.burst_size - 1, count - len(gaps)))
-        return gaps[:count]
+        emitted = 0
+        while emitted < count:
+            yield rng.expovariate(batch_rate)
+            emitted += 1
+            for _ in range(min(self.burst_size - 1, count - emitted)):
+                yield 0.0
+                emitted += 1
+
+    def interarrivals(self, count: int, seed: int) -> list[float]:
+        """``count`` gaps between consecutive arrivals (first gap is the
+        delay of the first arrival after time zero)."""
+        return list(self.iter_interarrivals(count, seed))
 
     def arrival_times(self, count: int, seed: int) -> list[float]:
         """Absolute arrival instants (cumulative interarrival sums)."""

@@ -1,0 +1,207 @@
+"""Property tests: sharded metric merging is exact.
+
+The streaming metrics core promises that a record stream split across
+shards and merged back — any split, any merge order, empty shards
+included — produces aggregates *byte-identical* to recording the whole
+stream into one serial result.  These properties drive the promise with
+arbitrary floats (no "nice" values): exactness must come from the
+Shewchuk accumulators and the state-independent sketch binning, not
+from the inputs being friendly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.metrics import QueryMetrics, SimulationResult
+
+from tests.properties.strategies import QUICK, STANDARD
+
+#: Non-negative finite times spanning many orders of magnitude so
+#: sums genuinely lose associativity under plain float addition.
+_times = st.one_of(
+    st.sampled_from([0.0, 0.0, 1e-9, 0.1, 1.0, 3.0, 1e6]),
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False,
+              allow_infinity=False),
+)
+
+
+@st.composite
+def _records(draw, max_size: int = 40):
+    entries = draw(
+        st.lists(
+            st.tuples(
+                _times,                            # response_time
+                _times,                            # queue_delay
+                st.integers(0, 5),                 # stream
+                st.integers(0, 50),                # fact_pages
+            ),
+            max_size=max_size,
+        )
+    )
+    return [
+        QueryMetrics(
+            name=f"q{i}",
+            response_time=response,
+            subqueries=1,
+            fact_io_ops=pages,
+            fact_pages=pages,
+            bitmap_io_ops=0,
+            bitmap_pages=0,
+            coordinator_node=0,
+            stream=stream,
+            queue_delay=queue,
+        )
+        for i, (response, queue, stream, pages) in enumerate(entries)
+    ]
+
+
+@st.composite
+def _sharded_runs(draw):
+    """Records plus an arbitrary split into shards with device stats."""
+    records = draw(_records())
+    n_shards = draw(st.integers(1, 5))
+    assignment = [
+        draw(st.integers(0, n_shards - 1)) for _ in range(len(records))
+    ]
+    n_disks = draw(st.integers(0, 3))
+    shards = []
+    for shard_index in range(n_shards):
+        shard = SimulationResult(
+            elapsed=draw(_times),
+            disk_busy=[draw(_times) for _ in range(n_disks)],
+            cpu_busy=[draw(_times) for _ in range(2)],
+            buffer_hits=draw(st.integers(0, 100)),
+            event_count=draw(st.integers(0, 1000)),
+            peak_mpl=draw(st.integers(0, 8)),
+            queued_arrivals=draw(st.integers(0, 10)),
+        )
+        for record, owner in zip(records, assignment):
+            if owner == shard_index:
+                shard.record(record)
+        shards.append(shard)
+    merge_order = draw(st.permutations(range(n_shards)))
+    return records, shards, merge_order
+
+
+def _serial_baseline(records, shards) -> SimulationResult:
+    """One result fed the full stream, with summed device/peak stats."""
+    serial = SimulationResult(
+        elapsed=max(s.elapsed for s in shards),
+        buffer_hits=sum(s.buffer_hits for s in shards),
+        event_count=sum(s.event_count for s in shards),
+        peak_mpl=max(s.peak_mpl for s in shards),
+        queued_arrivals=sum(s.queued_arrivals for s in shards),
+    )
+    for record in records:
+        serial.record(record)
+    return serial
+
+
+def _assert_aggregates_identical(merged, serial) -> None:
+    assert merged.query_count == serial.query_count
+    assert merged.total_pages == serial.total_pages
+    assert merged.elapsed == serial.elapsed
+    assert merged.buffer_hits == serial.buffer_hits
+    assert merged.event_count == serial.event_count
+    assert merged.peak_mpl == serial.peak_mpl
+    assert merged.queued_arrivals == serial.queued_arrivals
+    if serial.query_count:
+        assert merged.avg_response_time == serial.avg_response_time
+        assert merged.avg_queue_delay == serial.avg_queue_delay
+        assert merged.avg_total_delay == serial.avg_total_delay
+        assert merged.max_response_time == serial.max_response_time
+        assert merged.max_queue_delay == serial.max_queue_delay
+        for p in (0, 25, 50, 95, 99, 100):
+            assert merged.response_time_percentile(p) == \
+                serial.response_time_percentile(p)
+            assert merged.total_delay_percentile(p) == \
+                serial.total_delay_percentile(p)
+        assert merged.per_stream() == serial.per_stream()
+
+
+@given(_sharded_runs())
+@STANDARD
+def test_merged_shards_match_serial(sharded):
+    """Any split of the stream merges back to the serial aggregates."""
+    records, shards, merge_order = sharded
+    merged = SimulationResult.merged([shards[i] for i in merge_order])
+    serial = _serial_baseline(records, shards)
+    _assert_aggregates_identical(merged, serial)
+    # Device stats: exact-partials merging must agree with fsum over
+    # every shard's contribution, per device entry.
+    for attribute in ("disk_busy", "cpu_busy"):
+        columns = zip(*(getattr(s, attribute) for s in shards))
+        expected = [math.fsum(column) for column in columns]
+        assert getattr(merged, attribute) == expected
+    # The merged record multiset is the full stream (order follows the
+    # merge order, which aggregates must not care about).
+    assert sorted(q.name for q in merged.queries) == \
+        sorted(q.name for q in records)
+
+
+@given(_sharded_runs(), st.randoms(use_true_random=False))
+@QUICK
+def test_merge_is_associative(sharded, rng: random.Random):
+    """Pairwise merge trees and left folds agree byte for byte."""
+    records, shards, merge_order = sharded
+    left_fold = SimulationResult.merged(list(shards))
+    # Random merge tree: repeatedly merge two random pieces.
+    pieces = [shards[i] for i in merge_order]
+    while len(pieces) > 1:
+        a = pieces.pop(rng.randrange(len(pieces)))
+        b = pieces.pop(rng.randrange(len(pieces)))
+        pieces.append(a.merge(b))
+    _assert_aggregates_identical(pieces[0], left_fold)
+    for attribute in ("disk_busy", "disk_seek", "cpu_busy"):
+        assert getattr(pieces[0], attribute) == getattr(left_fold, attribute)
+
+
+@given(_records(max_size=30), st.integers(1, 4), st.integers(1, 8))
+@QUICK
+def test_collapsed_sketches_stay_order_invariant(records, n_shards, threshold):
+    """Past the exactness threshold, binned percentiles are still a pure
+    function of the multiset — identical for any split or merge order."""
+    shards = [
+        SimulationResult(exact_percentile_threshold=threshold)
+        for _ in range(n_shards)
+    ]
+    for i, record in enumerate(records):
+        shards[i % n_shards].record(record)
+    forward = SimulationResult.merged(shards)
+    backward = SimulationResult.merged(shards[::-1])
+    serial = SimulationResult(
+        queries=records, exact_percentile_threshold=threshold
+    )
+    if records:
+        for p in (0, 10, 50, 95, 100):
+            expected = serial.response_time_percentile(p)
+            assert forward.response_time_percentile(p) == expected
+            assert backward.response_time_percentile(p) == expected
+        assert forward.percentile_source == serial.percentile_source
+
+
+@given(_records(max_size=30), st.integers(1, 6))
+@QUICK
+def test_bounded_shards_report_full_aggregates(records, n_shards):
+    """Bounded-retention shards merge to the same aggregates, no records."""
+    shards = [
+        SimulationResult(retention="bounded") for _ in range(n_shards)
+    ]
+    for i, record in enumerate(records):
+        shards[i % n_shards].record(record)
+    merged = SimulationResult.merged(shards)
+    serial = SimulationResult(queries=records)
+    assert merged.retention == "bounded"
+    assert merged.records_retained == 0
+    assert merged.query_count == serial.query_count
+    if records:
+        assert merged.avg_response_time == serial.avg_response_time
+        assert merged.max_response_time == serial.max_response_time
+        for p in (50, 95):
+            assert merged.response_time_percentile(p) == \
+                serial.response_time_percentile(p)

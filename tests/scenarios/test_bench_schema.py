@@ -29,7 +29,14 @@ TOP_LEVEL_KEYS = {
     "derived",
     "wall_clock_s",
 }
-RUN_KEYS = {"run_id", "config", "config_hash", "metrics", "wall_clock_s"}
+RUN_KEYS = {
+    "run_id",
+    "config",
+    "config_hash",
+    "metrics",
+    "wall_clock_s",
+    "peak_rss_kb",
+}
 SIM_METRIC_KEYS = {
     "response_time_s",
     "subqueries",

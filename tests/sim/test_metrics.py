@@ -1,8 +1,14 @@
 """SimulationResult / QueryMetrics aggregation."""
 
+import math
+import random
+import statistics
+
 import pytest
 
 from repro.sim.metrics import (
+    ExactSum,
+    PercentileSketch,
     QueryMetrics,
     SimulationResult,
     percentile,
@@ -70,8 +76,18 @@ class TestSimulationResult:
         assert result.avg_disk_utilization == pytest.approx(0.75)
         assert result.avg_cpu_utilization == pytest.approx(0.3)
 
-    def test_utilization_zero_without_elapsed(self):
+    def test_utilization_raises_without_elapsed(self):
+        # Zero-elapsed handling is uniform with throughput_qps: the
+        # friendly ValueError, not a silent 0.0.
         result = SimulationResult(queries=[metrics()], disk_busy=[5.0])
+        for attribute in ("avg_disk_utilization", "avg_cpu_utilization"):
+            with pytest.raises(ValueError, match="no simulated time elapsed"):
+                getattr(result, attribute)
+
+    def test_utilization_zero_for_deviceless_configuration(self):
+        # With simulated time but no devices of a kind, 0.0 is the
+        # documented answer (nothing was busy, nothing divided by zero).
+        result = SimulationResult(queries=[metrics()], elapsed=4.0)
         assert result.avg_disk_utilization == 0.0
         assert result.avg_cpu_utilization == 0.0
 
@@ -83,6 +99,13 @@ class TestSimulationResult:
         slow = SimulationResult(queries=[metrics(response=10.0)])
         fast = SimulationResult(queries=[metrics(response=2.0)])
         assert fast.speedup_against(slow) == pytest.approx(5.0)
+
+    def test_speedup_against_zero_baseline_is_friendly(self):
+        # Previously a bare ZeroDivisionError leaked out.
+        zero = SimulationResult(queries=[metrics(response=0.0)])
+        fast = SimulationResult(queries=[metrics(response=2.0)])
+        with pytest.raises(ValueError, match="baseline average response"):
+            fast.speedup_against(zero)
 
     def test_queue_delay_aggregates(self):
         result = SimulationResult(
@@ -154,3 +177,224 @@ class TestPercentile:
             percentile([], 50)
         with pytest.raises(ValueError):
             percentile([1.0], 101)
+
+
+class TestExactSum:
+    def test_matches_fsum_in_any_order(self):
+        rng = random.Random(7)
+        values = [rng.uniform(0, 1e6) * 10 ** rng.randint(-8, 8)
+                  for _ in range(500)]
+        expected = math.fsum(values)
+        for shuffle_seed in range(5):
+            shuffled = list(values)
+            random.Random(shuffle_seed).shuffle(shuffled)
+            acc = ExactSum()
+            for value in shuffled:
+                acc.add(value)
+            assert acc.value == expected
+
+    def test_merge_matches_serial(self):
+        rng = random.Random(11)
+        values = [rng.expovariate(1.0) for _ in range(200)]
+        serial = ExactSum()
+        for value in values:
+            serial.add(value)
+        left, right = ExactSum(), ExactSum()
+        for i, value in enumerate(values):
+            (left if i % 2 else right).add(value)
+        left.merge(right)
+        assert left.value == serial.value
+
+    def test_mean_reproduces_fmean(self):
+        rng = random.Random(13)
+        values = [rng.random() * 3.7 for _ in range(321)]
+        acc = ExactSum()
+        for value in values:
+            acc.add(value)
+        assert acc.value / len(values) == statistics.fmean(values)
+
+
+class TestPercentileSketch:
+    def test_exact_below_threshold(self):
+        rng = random.Random(3)
+        values = [rng.expovariate(0.5) for _ in range(100)]
+        sketch = PercentileSketch(exact_threshold=100)
+        for value in values:
+            sketch.record(value)
+        assert sketch.is_exact
+        for p in (0, 10, 50, 90, 95, 99, 100):
+            assert sketch.percentile(p) == percentile(values, p)
+
+    def test_collapses_past_threshold_with_bounded_error(self):
+        rng = random.Random(5)
+        values = [rng.expovariate(0.5) for _ in range(1000)]
+        sketch = PercentileSketch(exact_threshold=64)
+        for value in values:
+            sketch.record(value)
+        assert not sketch.is_exact
+        for p in (1, 25, 50, 75, 95, 99):
+            exact = percentile(values, p)
+            approx = sketch.percentile(p)
+            # Bin width is 1/64 of the octave: ~1.6% relative error.
+            assert approx == pytest.approx(exact, rel=1 / 32)
+        assert sketch.percentile(0) == min(values)
+        assert sketch.percentile(100) == max(values)
+
+    def test_zero_values_have_a_dedicated_bin(self):
+        sketch = PercentileSketch(exact_threshold=2)
+        for value in [0.0] * 6 + [5.0, 6.0]:
+            sketch.record(value)
+        assert not sketch.is_exact
+        assert sketch.percentile(50) == 0.0
+        assert sketch.percentile(100) == 6.0
+
+    def test_merge_any_split_matches_serial_state(self):
+        rng = random.Random(9)
+        values = [rng.expovariate(1.0) for _ in range(300)]
+        serial = PercentileSketch(exact_threshold=50)
+        for value in values:
+            serial.record(value)
+        for split_seed in range(4):
+            split_rng = random.Random(split_seed)
+            parts = [PercentileSketch(exact_threshold=50) for _ in range(4)]
+            for value in values:
+                parts[split_rng.randrange(4)].record(value)
+            split_rng.shuffle(parts)
+            combined = parts[0]
+            for part in parts[1:]:
+                combined.merge(part)
+            for p in (0, 5, 50, 95, 100):
+                assert combined.percentile(p) == serial.percentile(p)
+
+    def test_rejects_negative_and_non_finite(self):
+        sketch = PercentileSketch()
+        for bad in (-1.0, math.inf, math.nan):
+            with pytest.raises(ValueError, match="finite and non-negative"):
+                sketch.record(bad)
+
+    def test_mismatched_thresholds_refuse_to_merge(self):
+        with pytest.raises(ValueError, match="thresholds"):
+            PercentileSketch(10).merge(PercentileSketch(20))
+
+
+class TestRetentionModes:
+    def test_bounded_drops_records_but_keeps_aggregates(self):
+        queries = [metrics(response=float(i), queue_delay=0.5 * i)
+                   for i in range(1, 9)]
+        full = SimulationResult(queries=list(queries), elapsed=10.0)
+        bounded = SimulationResult(
+            queries=list(queries), elapsed=10.0, retention="bounded"
+        )
+        assert full.records_retained == 8
+        assert bounded.records_retained == 0
+        assert bounded.query_count == 8
+        for attribute in (
+            "avg_response_time", "max_response_time", "avg_queue_delay",
+            "max_queue_delay", "avg_total_delay", "throughput_qps",
+            "total_pages",
+        ):
+            assert getattr(bounded, attribute) == getattr(full, attribute)
+        for p in (0, 50, 95, 100):
+            assert (bounded.response_time_percentile(p)
+                    == full.response_time_percentile(p))
+
+    def test_bounded_has_no_per_stream_rollup(self):
+        bounded = SimulationResult(
+            queries=[metrics()], retention="bounded"
+        )
+        with pytest.raises(ValueError, match="bounded"):
+            bounded.per_stream()
+
+    def test_unknown_retention_rejected(self):
+        with pytest.raises(ValueError, match="retention"):
+            SimulationResult(retention="everything")
+
+
+class TestMerge:
+    @staticmethod
+    def _records(count, seed):
+        rng = random.Random(seed)
+        return [
+            metrics(
+                response=rng.expovariate(1.0),
+                queue_delay=rng.expovariate(2.0),
+                stream=rng.randrange(5),
+                fact_pages=rng.randrange(100),
+            )
+            for _ in range(count)
+        ]
+
+    def test_merge_matches_serial_aggregates(self):
+        records = self._records(60, seed=21)
+        serial = SimulationResult(
+            queries=list(records), elapsed=50.0,
+            disk_busy=[1.0, 2.0], cpu_busy=[3.0],
+            buffer_hits=7, buffer_misses=3, event_count=100,
+        )
+        shard_a = SimulationResult(
+            queries=records[:25], elapsed=50.0,
+            disk_busy=[1.0, 2.0], cpu_busy=[3.0],
+            buffer_hits=7, buffer_misses=3, event_count=100,
+        )
+        shard_b = SimulationResult(queries=records[25:])
+        merged = shard_a.merge(shard_b)
+        assert merged.query_count == serial.query_count
+        assert merged.avg_response_time == serial.avg_response_time
+        assert merged.max_response_time == serial.max_response_time
+        assert merged.avg_queue_delay == serial.avg_queue_delay
+        assert merged.avg_total_delay == serial.avg_total_delay
+        assert merged.total_pages == serial.total_pages
+        assert merged.disk_busy == serial.disk_busy
+        assert merged.cpu_busy == serial.cpu_busy
+        assert merged.response_time_percentile(95) == \
+            serial.response_time_percentile(95)
+        assert merged.per_stream() == serial.per_stream()
+
+    def test_merge_is_associative_and_order_invariant(self):
+        records = self._records(40, seed=33)
+        parts = [
+            SimulationResult(queries=records[:10]),
+            SimulationResult(queries=records[10:30]),
+            SimulationResult(queries=[]),
+            SimulationResult(queries=records[30:]),
+        ]
+        left = parts[0].merge(parts[1]).merge(parts[2]).merge(parts[3])
+        right = parts[0].merge(parts[1].merge(parts[2].merge(parts[3])))
+        shuffled = parts[3].merge(parts[1]).merge(parts[0]).merge(parts[2])
+        for a, b in ((left, right), (left, shuffled)):
+            assert a.avg_response_time == b.avg_response_time
+            assert a.avg_queue_delay == b.avg_queue_delay
+            assert a.response_time_percentile(95) == \
+                b.response_time_percentile(95)
+            assert a.per_stream() == b.per_stream()
+
+    def test_merge_with_bounded_side_is_bounded(self):
+        full = SimulationResult(queries=[metrics()])
+        bounded = SimulationResult(queries=[metrics()], retention="bounded")
+        merged = full.merge(bounded)
+        assert merged.retention == "bounded"
+        assert merged.records_retained == 0
+        assert merged.query_count == 2
+
+    def test_merged_classmethod_folds_and_handles_empty(self):
+        empty = SimulationResult.merged([])
+        assert empty.query_count == 0
+        records = self._records(12, seed=1)
+        combined = SimulationResult.merged([
+            SimulationResult(queries=records[:4]),
+            SimulationResult(queries=records[4:]),
+        ])
+        assert combined.query_count == 12
+
+    def test_peaks_take_max_and_counts_add(self):
+        a = SimulationResult(queries=[metrics()], peak_mpl=3,
+                             peak_queue_length=9, queued_arrivals=5,
+                             elapsed=2.0)
+        b = SimulationResult(queries=[metrics()], peak_mpl=7,
+                             peak_queue_length=2, queued_arrivals=4,
+                             elapsed=3.0)
+        merged = a.merge(b)
+        assert merged.peak_mpl == 7
+        assert merged.peak_queue_length == 9
+        assert merged.queued_arrivals == 9
+        assert merged.elapsed == 3.0
