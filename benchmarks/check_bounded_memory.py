@@ -35,7 +35,7 @@ from repro.sim.simulator import ParallelWarehouseSimulator
 from repro.workload.queries import query_type
 
 
-def _warehouse_run(streams: int, retention: str):
+def _warehouse_run(streams: int, retention: str, stream_shards: int = 1):
     """A warehouse_scale run point resized to ``streams`` sessions."""
     base = get_scenario("warehouse_scale").runs[0]
     return replace(
@@ -43,12 +43,20 @@ def _warehouse_run(streams: int, retention: str):
         run_id=f"mem_{retention}_{streams}",
         streams=streams,
         record_retention=retention,
+        stream_shards=stream_shards,
     )
 
 
-def measure(streams: int, retention: str) -> dict:
-    """Traced peak metric memory (KiB) of one open-system run."""
-    run = _warehouse_run(streams, retention)
+def measure(streams: int, retention: str, stream_shards: int = 1) -> dict:
+    """Traced peak metric memory (KiB) of one open-system run.
+
+    With ``stream_shards > 1`` each session slice is simulated and
+    traced separately (``tracemalloc.reset_peak`` between slices) and
+    folded incrementally, so ``traced_peak_kib`` is the footprint one
+    stream-shard *worker* would hold — the per-worker flatness evidence
+    — and ``per_shard_peak_kib`` lists every slice.
+    """
+    run = _warehouse_run(streams, retention, stream_shards)
     schema = _schema_for(run)
     # The database/simulator build allocates a scale-independent chunk;
     # keep it outside the traced window so the measurement isolates the
@@ -73,22 +81,48 @@ def measure(streams: int, retention: str) -> dict:
         ]
 
     started = time.perf_counter()
+    per_shard: list[float] | None = None
     tracemalloc.start()
     try:
-        result = simulator.run_open_system(
-            run.streams, run.workload_params(), query_factory=session_queries
-        )
-        _, peak = tracemalloc.get_traced_memory()
+        if stream_shards == 1:
+            result = simulator.run_open_system(
+                run.streams, run.workload_params(),
+                query_factory=session_queries,
+            )
+            _, peak = tracemalloc.get_traced_memory()
+        else:
+            from repro.sim.metrics import SimulationResult
+            from repro.workload.arrivals import partition_sessions
+
+            merged = SimulationResult(retention=retention)
+            per_shard = []
+            for session_slice in partition_sessions(streams, stream_shards):
+                tracemalloc.reset_peak()
+                merged = merged.merge(
+                    simulator.run_open_system(
+                        run.streams, run.workload_params(),
+                        query_factory=session_queries,
+                        session_slice=session_slice,
+                    )
+                )
+                _, shard_peak = tracemalloc.get_traced_memory()
+                per_shard.append(round(shard_peak / 1024, 1))
+            result = merged
+            peak = max(per_shard) * 1024
     finally:
         tracemalloc.stop()
-    return {
+    measurement = {
         "sessions": streams,
         "retention": retention,
+        "stream_shards": stream_shards,
         "query_count": result.query_count,
         "records_retained": result.records_retained,
         "traced_peak_kib": round(peak / 1024, 1),
         "wall_clock_s": round(time.perf_counter() - started, 2),
     }
+    if per_shard is not None:
+        measurement["per_shard_peak_kib"] = per_shard
+    return measurement
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -109,18 +143,41 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-full", action="store_true",
         help="measure only bounded retention (halves the runtime)",
     )
+    parser.add_argument(
+        "--stream-shards", type=int, default=1, metavar="N",
+        help="partition each run's session axis into N stream shards; "
+             "every shard is traced separately, so the reported peak is "
+             "one worker's footprint (default 1 = the serial run)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="declared stream-shard worker budget; validated against "
+             "this host's CPU count (the measurement itself runs each "
+             "shard in-process precisely so the traced peak is exactly "
+             "one worker's footprint)",
+    )
     args = parser.parse_args(argv)
     if args.large <= args.small:
         print("error: --large must exceed --small", file=sys.stderr)
         return 2
+    if args.stream_shards < 1 or args.jobs < 1:
+        print("error: --stream-shards and --jobs must be >= 1",
+              file=sys.stderr)
+        return 2
+    from repro.scenarios.shard import stream_oversubscription_error
+
+    problem = stream_oversubscription_error(args.jobs, args.stream_shards)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
 
     measurements = [
-        measure(args.small, "bounded"),
-        measure(args.large, "bounded"),
+        measure(args.small, "bounded", args.stream_shards),
+        measure(args.large, "bounded", args.stream_shards),
     ]
     if not args.skip_full:
-        measurements.append(measure(args.small, "full"))
-        measurements.append(measure(args.large, "full"))
+        measurements.append(measure(args.small, "full", args.stream_shards))
+        measurements.append(measure(args.large, "full", args.stream_shards))
 
     by_key = {(m["retention"], m["sessions"]): m for m in measurements}
     bounded_growth = (
@@ -129,6 +186,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     report = {
         "scale_ratio": round(args.large / args.small, 2),
+        "stream_shards": args.stream_shards,
         "bounded_peak_growth": round(bounded_growth, 3),
         "max_allowed_growth": args.max_growth,
         "measurements": measurements,

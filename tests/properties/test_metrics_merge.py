@@ -18,6 +18,11 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.sim.metrics import QueryMetrics, SimulationResult
+from repro.workload.arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    partition_sessions,
+)
 
 from tests.properties.strategies import QUICK, STANDARD
 
@@ -183,6 +188,102 @@ def test_collapsed_sketches_stay_order_invariant(records, n_shards, threshold):
             assert forward.response_time_percentile(p) == expected
             assert backward.response_time_percentile(p) == expected
         assert forward.percentile_source == serial.percentile_source
+
+
+_arrival_processes = st.builds(
+    ArrivalProcess,
+    kind=st.sampled_from(sorted(ARRIVAL_KINDS)),
+    rate_qps=st.floats(min_value=0.05, max_value=200.0,
+                       allow_nan=False, allow_infinity=False),
+    burst_size=st.integers(1, 6),
+)
+
+
+def _serial_instants(arrivals, count, seed):
+    """Arrival instants exactly as the serial engine computes them:
+    a left-to-right ``t = t + gap`` fold over the one serial draw."""
+    instants = []
+    t = 0.0
+    for gap in arrivals.iter_interarrivals(count, seed):
+        t = t + gap
+        instants.append(t)
+    return instants
+
+
+@given(
+    _arrival_processes,
+    st.integers(0, 120),
+    st.integers(1, 9),
+    st.integers(),
+)
+@STANDARD
+def test_stream_partition_unions_to_serial_draw(arrivals, count, shards, seed):
+    """Real arrival draws: any contiguous partition of the session axis
+    reproduces the serial timeline bit for bit — each slice's offset
+    equals the serial instant of its first session, each later gap
+    equals the serial gap, and the union covers every session once."""
+    serial_gaps = list(arrivals.iter_interarrivals(count, seed))
+    instants = _serial_instants(arrivals, count, seed)
+    covered = []
+    for start, stop in partition_sessions(count, shards):
+        pairs = list(arrivals.iter_arrival_slice(count, seed, start, stop))
+        covered.extend(session for session, _ in pairs)
+        if not pairs:
+            assert start == stop
+            continue
+        first_session, offset = pairs[0]
+        assert first_session == start
+        # Bit-exact: the slice's absolute first instant is the serial one.
+        assert offset == instants[start]
+        for (session, gap), expected in zip(pairs[1:],
+                                            serial_gaps[start + 1:stop]):
+            assert gap == expected
+    assert covered == list(range(count))
+
+
+@given(
+    _arrival_processes,
+    st.integers(0, 60),
+    st.integers(1, 6),
+    st.integers(),
+)
+@QUICK
+def test_real_draw_shards_merge_byte_identical(arrivals, count, shards, seed):
+    """Records whose floats come from real arrival draws — not synthetic
+    values — merge across any contiguous partition byte-identically to
+    the serial recording.  Covers 1 shard == serial, more shards than
+    sessions (empty slices), and count == 0."""
+    instants = _serial_instants(arrivals, count, seed)
+    records = [
+        QueryMetrics(
+            name=f"s{session}",
+            response_time=instant,
+            subqueries=1,
+            fact_io_ops=session,
+            fact_pages=session,
+            bitmap_io_ops=0,
+            bitmap_pages=0,
+            coordinator_node=0,
+            stream=session % 4,
+            queue_delay=instant / 3.0,
+        )
+        for session, instant in enumerate(instants)
+    ]
+    pieces = []
+    for start, stop in partition_sessions(count, shards):
+        piece = SimulationResult(
+            elapsed=instants[stop - 1] if stop > start else 0.0
+        )
+        for record in records[start:stop]:
+            piece.record(record)
+        pieces.append(piece)
+    merged = SimulationResult.merged(pieces)
+    serial = SimulationResult(
+        elapsed=instants[-1] if instants else 0.0
+    )
+    for record in records:
+        serial.record(record)
+    _assert_aggregates_identical(merged, serial)
 
 
 @given(_records(max_size=30), st.integers(1, 6))

@@ -244,10 +244,10 @@ class TestErrorSurfacing:
 
         real_execute_run = runner_mod.execute_run
 
-        def killer(run):
+        def killer(run, **kwargs):
             if run.run_id == "d8_t2":
                 os._exit(137)  # simulate an OOM kill, not an exception
-            return real_execute_run(run)
+            return real_execute_run(run, **kwargs)
 
         # Forked workers inherit the patched module attribute.
         monkeypatch.setattr(runner_mod, "execute_run", killer)
