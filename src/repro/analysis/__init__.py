@@ -1,0 +1,30 @@
+"""``repro lint`` — static determinism & contract checks.
+
+This package is an AST-level linter over the ``repro`` package's own
+source, enforcing the invariants the rest of the repo defends at
+runtime (golden fingerprints, the ``derive_rng`` discipline,
+``config_hash`` stability, exact float folds, fork-pool purity).  Run
+it as ``repro lint`` or ``python -m repro.analysis``.
+
+Rule families: ``DET-RNG``, ``DET-ORDER``, ``DET-FLOAT``,
+``HASH-STABLE``, ``POOL-SAFE``, plus ``LINT`` for engine diagnostics.
+See :mod:`repro.analysis.rules` and the README's "Static analysis"
+section.
+"""
+
+from repro.analysis.engine import (
+    add_lint_arguments,
+    collect_findings,
+    main,
+    run_lint,
+)
+from repro.analysis.findings import Finding, sort_findings
+
+__all__ = [
+    "Finding",
+    "add_lint_arguments",
+    "collect_findings",
+    "main",
+    "run_lint",
+    "sort_findings",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` entry point for the lint."""
+
+import sys
+
+from repro.analysis.engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())

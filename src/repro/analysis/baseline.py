@@ -1,0 +1,157 @@
+"""The committed baseline of grandfathered ``repro lint`` findings.
+
+A baseline entry names a finding by its line-number-free identity —
+``(rule, path, detail)`` — plus a mandatory one-line justification, so
+a reader learns *why* the finding is tolerated without archaeology.
+Line numbers are deliberately absent: unrelated edits shift code around
+without invalidating the baseline.
+
+The engine enforces minimality in both directions:
+
+* a finding not in the baseline fails the run (no silent new debt), and
+* a baseline entry matching no current finding is *stale* and fails the
+  run too (debt that was paid off must be deleted from the ledger).
+
+``repro lint --write-baseline`` regenerates the file from the current
+findings, carrying existing justifications over and stamping new
+entries with a placeholder that a human must replace.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding
+
+#: Justification stamped on entries ``--write-baseline`` creates; the
+#: engine refuses a baseline that still contains it, so every committed
+#: entry has been justified by a person.
+PLACEHOLDER_JUSTIFICATION = "TODO: justify or fix"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    detail: str
+    justification: str
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.detail)
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (not a lint finding)."""
+
+
+def load_baseline(path: str) -> list[BaselineEntry]:
+    """Parse a baseline file; a missing file is an empty baseline."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        return []
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path!r} is not valid JSON: {exc}")
+    if not isinstance(data, dict) or not isinstance(data.get("entries"), list):
+        raise BaselineError(
+            f"baseline {path!r} must be an object with an 'entries' list"
+        )
+    entries = []
+    seen: set[tuple[str, str, str]] = set()
+    for raw in data["entries"]:
+        if not isinstance(raw, dict):
+            raise BaselineError(f"baseline {path!r}: entry is not an object")
+        missing = [
+            key for key in ("rule", "path", "detail", "justification")
+            if not isinstance(raw.get(key), str) or not raw[key].strip()
+        ]
+        if missing:
+            raise BaselineError(
+                f"baseline {path!r}: entry {raw!r} needs non-empty {missing}"
+            )
+        entry = BaselineEntry(
+            rule=raw["rule"], path=raw["path"], detail=raw["detail"],
+            justification=raw["justification"],
+        )
+        if entry.key() in seen:
+            raise BaselineError(
+                f"baseline {path!r}: duplicate entry for {entry.key()}"
+            )
+        seen.add(entry.key())
+        entries.append(entry)
+    return entries
+
+
+def write_baseline(
+    path: str,
+    findings: list[Finding],
+    previous: list[BaselineEntry],
+) -> list[BaselineEntry]:
+    """Write a baseline covering exactly ``findings``.
+
+    Justifications of entries that survive are carried over; new
+    entries get :data:`PLACEHOLDER_JUSTIFICATION` for a human to
+    replace before committing.  Returns the written entries.
+    """
+    carried = {entry.key(): entry.justification for entry in previous}
+    entries = []
+    seen: set[tuple[str, str, str]] = set()
+    for finding in findings:
+        key = finding.baseline_key()
+        if key in seen:
+            continue  # one entry grandfathers every same-identity site
+        seen.add(key)
+        entries.append(
+            BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                detail=finding.detail,
+                justification=carried.get(key, PLACEHOLDER_JUSTIFICATION),
+            )
+        )
+    entries.sort(key=BaselineEntry.key)
+    payload = {
+        "comment": (
+            "Grandfathered repro-lint findings; every entry needs a "
+            "one-line justification. Regenerate with "
+            "'repro lint --write-baseline' (stale entries fail the lint)."
+        ),
+        "entries": [
+            {
+                "rule": entry.rule,
+                "path": entry.path,
+                "detail": entry.detail,
+                "justification": entry.justification,
+            }
+            for entry in entries
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return entries
+
+
+def apply_baseline(
+    findings: list[Finding], entries: list[BaselineEntry]
+) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+    """Split findings into (active, baselined) and return stale entries.
+
+    An entry matches every finding with its ``(rule, path, detail)``
+    identity; an entry matching nothing is stale.
+    """
+    by_key = {entry.key(): entry for entry in entries}
+    matched: set[tuple[str, str, str]] = set()
+    active: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if key in by_key:
+            matched.add(key)
+            baselined.append(finding)
+        else:
+            active.append(finding)
+    stale = [entry for entry in entries if entry.key() not in matched]
+    return active, baselined, stale

@@ -1,0 +1,42 @@
+"""Finding objects produced by the ``repro lint`` rules.
+
+A :class:`Finding` is one diagnostic: which rule fired, where
+(package-relative path plus line/column), a human-readable message, and
+a *detail* string.  The detail is the line-number-free identity used by
+the baseline file — it must stay stable when unrelated edits shift the
+code around, so rules build it from the enclosing definition's qualified
+name plus a short pattern description, never from positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic emitted by a lint rule."""
+
+    #: Package-relative posix path, e.g. ``"sim/metrics.py"`` — stable
+    #: across checkouts, unlike an absolute or cwd-relative path.
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    #: Line-number-free identity for baseline matching, e.g.
+    #: ``"_database_for: write to module-level _DATABASE_CACHE"``.
+    detail: str
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.detail)
+
+    def render(self, prefix: str = "") -> str:
+        """``path:line:col: RULE message`` (clickable in most tools)."""
+        location = f"{prefix}{self.path}:{self.line}:{self.col}"
+        return f"{location}: {self.rule} {self.message}"
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Deterministic report order: path, then position, then rule."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))

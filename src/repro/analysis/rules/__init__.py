@@ -1,0 +1,151 @@
+"""Rule registry and shared AST plumbing for ``repro lint``.
+
+Two rule shapes exist:
+
+* :class:`FileRule` — a pure-AST pass over one file at a time (DET-RNG,
+  DET-ORDER, DET-FLOAT, POOL-SAFE).  ``applies_to`` scopes the rule to
+  the package-relative paths where its invariant is load-bearing.
+* :class:`ProjectRule` — an import-time introspection pass over the
+  scanned tree as a whole (HASH-STABLE), run once per lint invocation.
+
+Every rule family this module registers traces back to a bug class this
+repository actually hit and now defends at runtime (see the rule
+modules' docstrings); the linter's job is to catch the next instance at
+review time instead of via a red equivalence harness or a changed
+golden fingerprint.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a file rule may look at for one file."""
+
+    #: Package-relative posix path (``"sim/metrics.py"``).
+    path: str
+    tree: ast.Module
+    source: str
+
+
+class FileRule:
+    """One per-file AST pass."""
+
+    rule_id: str = ""
+    description: str = ""
+
+    def applies_to(self, path: str) -> bool:  # pragma: no cover - abstract
+        return True
+
+    def check_file(self, context: FileContext) -> list[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule:
+    """One whole-tree pass (import-time introspection allowed)."""
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check_project(self, root: str) -> list[Finding]:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------
+# Shared AST helpers
+# ---------------------------------------------------------------------
+
+def enclosing_names(tree: ast.Module) -> dict[ast.AST, str]:
+    """Map every node to the qualified name of its enclosing definition.
+
+    Module-level nodes map to ``"<module>"``; nodes inside nested
+    definitions get dotted names (``"SimulationResult.record"``).  The
+    qualified name anchors baseline details, so findings survive line
+    shifts.
+    """
+    names: dict[ast.AST, str] = {}
+
+    def visit(node: ast.AST, scope: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                child_scope = (
+                    child.name if scope == "<module>"
+                    else f"{scope}.{child.name}"
+                )
+            else:
+                child_scope = scope
+            names[child] = child_scope
+            visit(child, child_scope)
+
+    names[tree] = "<module>"
+    visit(tree, "<module>")
+    return names
+
+
+def call_name(node: ast.Call) -> str | None:
+    """``"sorted"`` for ``sorted(x)``; None for non-Name callees."""
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``"np.random.default_rng"`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def is_int_like(node: ast.AST) -> bool:
+    """Whether an expression is obviously an integer (no float fold risk).
+
+    Deliberately shallow: integer literals, ``len(...)``/``int(...)``
+    calls, and arithmetic over such.  Anything it cannot prove int-ish
+    is treated as potentially float — the safe direction for a
+    determinism linter (suppress with a comment when it is wrong).
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, int) and not isinstance(node.value, bool)
+    if isinstance(node, ast.Call):
+        return call_name(node) in ("len", "int", "ord", "round")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Add, ast.Sub, ast.Mult, ast.FloorDiv, ast.Mod)
+    ):
+        return is_int_like(node.left) and is_int_like(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return is_int_like(node.operand)
+    return False
+
+
+def get_rules() -> list:
+    """Every registered rule instance, file rules first."""
+    from repro.analysis.rules.det_float import DetFloatRule
+    from repro.analysis.rules.det_order import DetOrderRule
+    from repro.analysis.rules.det_rng import DetRngRule
+    from repro.analysis.rules.hash_stable import HashStableRule
+    from repro.analysis.rules.pool_safe import PoolSafeRule
+
+    return [
+        DetRngRule(),
+        DetOrderRule(),
+        DetFloatRule(),
+        PoolSafeRule(),
+        HashStableRule(),
+    ]
+
+
+def rule_ids() -> set[str]:
+    return {rule.rule_id for rule in get_rules()}

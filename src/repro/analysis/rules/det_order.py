@@ -1,0 +1,289 @@
+"""DET-ORDER: unordered containers must be sorted before iteration.
+
+Set and dict iteration order is an implementation detail (sets hash by
+pointer-ish values; dicts are insertion-ordered but insertion order is
+easy to perturb), and any unordered iteration that feeds a fingerprint,
+an event queue, or a float fold makes the result depend on it.  PRs 4–7
+each fixed one of these by hand; the motivating specimen is the
+``projected: set[int]`` in ``mdhf/routing.py`` that is only safe because
+its one consumer wraps it in ``tuple(sorted(...))``.
+
+The rule infers which local names are definitely sets/frozensets (from
+annotations, set literals/comprehensions, ``set(...)``/``frozenset(...)``
+calls and set-algebra results) and flags order-*sensitive* consumption
+of those names and of ``dict.values()`` expressions (``.keys()`` /
+``.items()`` iteration is insertion-ordered and the repo builds those
+dicts deterministically; ``.values()`` is singled out because it is the
+form that loses the key needed to re-sort downstream):
+
+* ``for x in s:`` loops and comprehension ``for`` clauses,
+* ``list(s)`` / ``tuple(s)`` / ``enumerate(s)`` / ``iter(s)``,
+* ``",".join(s)``,
+* starred unpacking ``f(*s)`` / ``[*s]``.
+
+Order-*insensitive* consumption stays legal: ``sorted(s)``, ``min``/
+``max``/``len``/``any``/``all``/``sum``, membership tests, set algebra,
+``set(s)``/``frozenset(s)`` conversions, and exact reducers
+(``math.fsum``, ``ExactSum``).  ``sum(s)`` is exempt *here* because the
+order hazard of a float fold is DET-FLOAT's beat and already scoped to
+the accumulation-heavy modules.
+
+Scope: the fingerprint-feeding packages (``sim/``, ``scenarios/``,
+``mdhf/``, ``workload/``, ``allocation/``, ``costmodel/``, ``bitmap/``,
+``schema/``).  ``dict.keys()`` iteration over a dict built in
+deterministic order is often fine — suppress with a reason when so.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import (
+    FileContext,
+    FileRule,
+    call_name,
+    dotted_name,
+    enclosing_names,
+)
+
+#: Package prefixes whose iteration order can reach a fingerprint.
+ORDER_SENSITIVE_PREFIXES = (
+    "sim/",
+    "scenarios/",
+    "mdhf/",
+    "workload/",
+    "allocation/",
+    "costmodel/",
+    "bitmap/",
+    "schema/",
+)
+
+#: Callees that consume their argument without caring about order.
+_ORDER_SAFE_CALLEES = frozenset(
+    {
+        "sorted",
+        "min",
+        "max",
+        "len",
+        "any",
+        "all",
+        "set",
+        "frozenset",
+        "fsum",
+        "math.fsum",
+        "ExactSum",
+        "isdisjoint",
+        "issubset",
+        "issuperset",
+        "union",
+        "intersection",
+        "difference",
+        "symmetric_difference",
+        "update",
+        "intersection_update",
+        "difference_update",
+        "bool",
+        "repr",
+    }
+)
+
+#: Callees whose result order mirrors their argument's iteration order.
+_ORDER_SENSITIVE_CALLEES = frozenset(
+    {"list", "tuple", "enumerate", "iter", "next", "zip", "map", "filter",
+     "reversed"}
+)
+
+#: Callees whose comprehension argument is order-safe end to end: a
+#: genexp fed straight into ``sorted(...)`` (the repo's standard
+#: "filter then order" shape) must not flag its ``for`` clause.
+_ORDER_SAFE_CONSUMERS = frozenset(
+    {"sorted", "min", "max", "sum", "set", "frozenset", "any", "all",
+     "len", "fsum", "ExactSum"}
+)
+
+_SET_TYPE_NAMES = ("set", "frozenset", "Set", "FrozenSet", "MutableSet")
+
+
+def _annotation_is_set(node: ast.expr) -> bool:
+    if isinstance(node, ast.Subscript):
+        return _annotation_is_set(node.value)
+    name = dotted_name(node)
+    if name is None and isinstance(node, ast.Constant):
+        name = str(node.value).split("[")[0]
+    if name is None:
+        return False
+    return name.split(".")[-1] in _SET_TYPE_NAMES
+
+
+def _expr_makes_set(node: ast.expr, set_names: set[str]) -> bool:
+    """Whether evaluating ``node`` definitely yields a set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and call_name(node) in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # Set algebra propagates set-ness if either side is known.
+        return _expr_makes_set(node.left, set_names) or _expr_makes_set(
+            node.right, set_names
+        )
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in (
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+            "copy",
+        ):
+            return _expr_makes_set(node.func.value, set_names)
+    return False
+
+
+def _unordered_expr(node: ast.expr, set_names: set[str]) -> str | None:
+    """Describe why ``node`` is an unordered iterable, or None."""
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return f"set {node.id!r}"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set literal"
+    if isinstance(node, ast.Call):
+        if call_name(node) in ("set", "frozenset"):
+            return f"{call_name(node)}(...) result"
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "values":
+            base = dotted_name(node.func.value) or "<expr>"
+            return f"{base}.values()"
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor)
+    ):
+        if _expr_makes_set(node, set_names):
+            return "set-algebra result"
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+        if _expr_makes_set(node.left, set_names) and _expr_makes_set(
+            node.right, set_names
+        ):
+            return "set-difference result"
+    return None
+
+
+class DetOrderRule(FileRule):
+    rule_id = "DET-ORDER"
+    description = (
+        "iterating a set/frozenset/dict view without sorted() in "
+        "fingerprint-feeding modules"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith(ORDER_SENSITIVE_PREFIXES)
+
+    def check_file(self, context: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        scopes = enclosing_names(context.tree)
+
+        def emit(node: ast.AST, what: str, how: str) -> None:
+            findings.append(
+                Finding(
+                    path=context.path,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    rule=self.rule_id,
+                    message=(
+                        f"{how} over unordered {what}; wrap in sorted(...) "
+                        "or suppress with a reason if order cannot reach "
+                        "a fingerprint"
+                    ),
+                    detail=f"{scopes.get(node, '<module>')}: {how} {what}",
+                )
+            )
+
+        # Pass 1: names that are definitely sets, per function scope.
+        # A flat name->bool map keyed by (scope, name) keeps shadowing
+        # between functions from cross-contaminating.
+        set_names_by_scope: dict[str, set[str]] = {}
+
+        def scope_sets(node: ast.AST) -> set[str]:
+            return set_names_by_scope.setdefault(
+                scopes.get(node, "<module>"), set()
+            )
+
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                if _annotation_is_set(node.annotation):
+                    scope_sets(node).add(node.target.id)
+            elif isinstance(node, ast.Assign):
+                names = [
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                ]
+                if names and _expr_makes_set(
+                    node.value, scope_sets(node)
+                ):
+                    scope_sets(node).update(names)
+            elif isinstance(node, ast.arg) and node.annotation is not None:
+                if _annotation_is_set(node.annotation):
+                    scope_sets(node).add(node.arg)
+
+        # Pass 2a: comprehensions consumed whole by an order-safe callee
+        # (``sorted(x for x in s)``) are exempt from the ``for``-clause
+        # check — the consumer erases the iteration order.
+        blessed: set[int] = set()
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = (dotted_name(node.func) or "").split(".")[-1]
+            if callee not in _ORDER_SAFE_CONSUMERS:
+                continue
+            for arg in node.args:
+                if isinstance(
+                    arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)
+                ):
+                    blessed.add(id(arg))
+
+        # Pass 2b: flag order-sensitive consumption.
+        for node in ast.walk(context.tree):
+            local_sets = scope_sets(node)
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                what = _unordered_expr(node.iter, local_sets)
+                if what is not None:
+                    emit(node.iter, what, "for-loop")
+            elif isinstance(
+                node,
+                (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp),
+            ):
+                if id(node) in blessed:
+                    continue
+                for generator in node.generators:
+                    what = _unordered_expr(generator.iter, local_sets)
+                    if what is not None:
+                        emit(generator.iter, what, "comprehension")
+            elif isinstance(node, ast.Call):
+                callee = dotted_name(node.func) or ""
+                short = callee.split(".")[-1]
+                if not short and isinstance(node.func, ast.Attribute):
+                    # Method on a non-Name receiver (``",".join(s)``).
+                    short = node.func.attr
+                if short in _ORDER_SENSITIVE_CALLEES:
+                    for arg in node.args:
+                        what = _unordered_expr(arg, local_sets)
+                        if what is not None:
+                            emit(arg, what, f"{short}()")
+                elif short == "join" and isinstance(node.func, ast.Attribute):
+                    for arg in node.args:
+                        what = _unordered_expr(arg, local_sets)
+                        if what is not None:
+                            emit(arg, what, "str.join()")
+                for arg in node.args:
+                    if isinstance(arg, ast.Starred):
+                        what = _unordered_expr(arg.value, local_sets)
+                        if what is not None:
+                            emit(arg, what, "star-unpack")
+            elif isinstance(node, (ast.List, ast.Tuple)):
+                for elt in node.elts:
+                    if isinstance(elt, ast.Starred):
+                        what = _unordered_expr(elt.value, local_sets)
+                        if what is not None:
+                            emit(elt, what, "star-unpack")
+        return findings

@@ -1,0 +1,109 @@
+"""Inline suppression comments for ``repro lint``.
+
+Two forms, both scanned from the token stream (so strings that merely
+*contain* the marker never suppress anything):
+
+* ``# repro-lint: disable=RULE[,RULE2] [-- reason]`` — suppresses the
+  named rules on the physical line the comment sits on (the usual
+  trailing-comment form).  A comment on its own line suppresses the
+  *next* non-blank, non-comment line, so long call chains keep their
+  justification above the code instead of past column 100.
+* ``# repro-lint: disable-file=RULE[,RULE2] [-- reason]`` — suppresses
+  the named rules for the whole file.
+
+The free-form ``-- reason`` tail is encouraged: a suppression without a
+reason tells a reviewer nothing.  ``RULE`` is a rule family id
+(``DET-RNG``, ``DET-ORDER``, ``DET-FLOAT``, ``HASH-STABLE``,
+``POOL-SAFE``); unknown ids are reported by the engine instead of being
+silently ignored, so typos cannot disarm a rule.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\-\s]+?)\s*(?:--.*)?$"
+)
+
+
+@dataclass
+class Suppressions:
+    """Per-file suppression state derived from the comments."""
+
+    #: Rules disabled for the whole file.
+    file_rules: frozenset[str] = frozenset()
+    #: Line number -> rules disabled on that line.
+    line_rules: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: ``(line, rule_text)`` pairs whose rule id is not registered;
+    #: surfaced as engine findings so a typo can't silently disarm.
+    unknown: list[tuple[int, str]] = field(default_factory=list)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.file_rules:
+            return True
+        return rule in self.line_rules.get(line, frozenset())
+
+
+def _parse_rule_list(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def scan_suppressions(source: str, known_rules: set[str]) -> Suppressions:
+    """Extract the suppression directives from one file's source."""
+    result = Suppressions()
+    file_rules: set[str] = set()
+    #: Comment-only lines whose directive should bind to the next code
+    #: line; flushed when that line is seen.
+    pending: list[str] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError):  # pragma: no cover - the
+        # engine reports the parse failure itself; no suppressions then.
+        return result
+
+    #: Physical lines that hold any non-comment code.
+    code_lines: set[int] = set()
+    for token in tokens:
+        if token.type in (
+            tokenize.COMMENT, tokenize.NL, tokenize.NEWLINE,
+            tokenize.INDENT, tokenize.DEDENT, tokenize.ENDMARKER,
+            tokenize.ENCODING,
+        ):
+            continue
+        for line in range(token.start[0], token.end[0] + 1):
+            code_lines.add(line)
+
+    def add_line_rules(line: int, rules: list[str]) -> None:
+        merged = set(result.line_rules.get(line, frozenset()))
+        merged.update(rules)
+        result.line_rules[line] = frozenset(merged)
+
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.match(token.string.strip())
+        if match is None:
+            continue
+        line = token.start[0]
+        rules = _parse_rule_list(match.group("rules"))
+        recognised = [rule for rule in rules if rule in known_rules]
+        for rule in rules:
+            if rule not in known_rules:
+                result.unknown.append((line, rule))
+        if match.group("kind") == "disable-file":
+            file_rules.update(recognised)
+        elif line in code_lines:
+            add_line_rules(line, recognised)
+        else:
+            # Standalone comment line: bind to the next code line.
+            targets = [l for l in code_lines if l > line]
+            if targets:
+                add_line_rules(min(targets), recognised)
+
+    result.file_rules = frozenset(file_rules)
+    return result

@@ -103,4 +103,6 @@ class IndexCatalog:
         return sum(d.bitmap_count for d in self._descriptors.values())
 
     def __iter__(self):
+        # repro-lint: disable=DET-ORDER -- registration order mirrors the
+        # schema's dimension tuple, which is itself deterministic.
         return iter(self._descriptors.values())

@@ -613,6 +613,8 @@ def _derived_metrics(runs: list[RunResult]) -> dict:
     derived: dict = {}
     if runs:
         derived["wall_clock"] = {
+            # repro-lint: disable=DET-FLOAT -- host-side diagnostic;
+            # excluded from fingerprints (physical_metrics drops it).
             "total_s": round(sum(r.wall_clock_s for r in runs), 3),
             "max_run_s": round(max(r.wall_clock_s for r in runs), 3),
             "slowest_run": max(runs, key=lambda r: r.wall_clock_s).run_id,

@@ -386,6 +386,8 @@ def summarize_outcomes(
         "shards": len(outcome_list),
         "jobs": plan.jobs,
         "total_wall_clock_s": round(
+            # repro-lint: disable=DET-FLOAT -- host-side diagnostic;
+            # never compared against goldens.
             sum(outcome.wall_clock_s for outcome in outcome_list), 3
         ),
         "max_shard_wall_clock_s": round(slowest.wall_clock_s, 3),

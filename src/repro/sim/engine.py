@@ -316,6 +316,8 @@ class Environment:
                 break
             width = self._cal_width = width / 2.0
             entries = [
+                # repro-lint: disable=DET-ORDER -- bucket dict insertion
+                # order is deterministic; rebuild preserves arrival order.
                 entry for bucket in buckets.values() for entry in bucket
             ]
             buckets.clear()

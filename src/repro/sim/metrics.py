@@ -283,6 +283,8 @@ class PercentileSketch:
                 lower, upper = self._bin_bounds(index)
                 fraction = (k - cumulative + 0.5) / occupants
                 return lower + (upper - lower) * fraction
+            # repro-lint: disable=DET-FLOAT -- integer bin occupancies;
+            # integer addition is exact in any order.
             cumulative += occupants
         return self._max
 

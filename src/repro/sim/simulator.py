@@ -141,7 +141,9 @@ class ParallelWarehouseSimulator:
         result.elapsed = env.now
         for manager in buffers:
             for pool in (manager.fact, manager.bitmap):
+                # repro-lint: disable=DET-FLOAT -- integer counters
                 result.buffer_hits += pool.hits
+                # repro-lint: disable=DET-FLOAT -- integer counters
                 result.buffer_misses += pool.misses
         result.disk_busy = [disk.busy_time for disk in disks]
         result.disk_seek = [disk.seek_time for disk in disks]

@@ -1,0 +1,56 @@
+"""Fixture-tree plumbing for the ``repro lint`` tests.
+
+Rule tests build throwaway package trees under ``tmp_path`` (the rules
+speak package-relative paths, so a file written to ``sim/x.py`` inside
+the tree is scoped exactly like the real ``repro/sim/x.py``) and run
+either :func:`collect_findings` for precise assertions or the CLI
+``main`` for exit-code/reporting behaviour.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import os
+
+import pytest
+
+from repro.analysis.engine import collect_findings, main
+
+
+def write_tree(root, files: dict[str, str]) -> str:
+    """Materialise ``relpath -> source`` under ``root``; returns root."""
+    for relpath, source in files.items():
+        path = os.path.join(root, *relpath.split("/"))
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(source)
+    return str(root)
+
+
+@pytest.fixture()
+def lint_tree(tmp_path):
+    """``lint_tree(files)`` -> sorted findings for a fixture tree."""
+
+    def _lint(files: dict[str, str]):
+        return collect_findings(write_tree(tmp_path, files))[0]
+
+    return _lint
+
+
+@pytest.fixture()
+def lint_cli(tmp_path):
+    """``lint_cli(files, *args)`` -> (exit_code, stdout, stderr)."""
+
+    def _run(files: dict[str, str], *args: str):
+        root = write_tree(tmp_path, files)
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+            code = main(["--root", root, *args])
+        return code, out.getvalue(), err.getvalue()
+
+    return _run
+
+
+def rules_fired(findings) -> set[str]:
+    return {finding.rule for finding in findings}

@@ -1,0 +1,129 @@
+"""DET-ORDER: set/dict-view iteration discipline."""
+
+from __future__ import annotations
+
+
+class TestPositives:
+    def test_for_loop_over_annotated_set(self, lint_tree):
+        findings = lint_tree(
+            {"mdhf/x.py": "def f(xs):\n"
+                          "    projected: set[int] = set()\n"
+                          "    for v in projected:\n"
+                          "        xs.append(v)\n"}
+        )
+        assert [f.rule for f in findings] == ["DET-ORDER"]
+        assert "set 'projected'" in findings[0].message
+
+    def test_list_of_set_literal_name(self, lint_tree):
+        findings = lint_tree(
+            {"sim/x.py": "def f():\n    s = {1, 2, 3}\n    return list(s)\n"}
+        )
+        assert [f.rule for f in findings] == ["DET-ORDER"]
+
+    def test_tuple_of_set_call_result(self, lint_tree):
+        findings = lint_tree(
+            {"scenarios/x.py": "def f(xs):\n    return tuple(set(xs))\n"}
+        )
+        assert [f.rule for f in findings] == ["DET-ORDER"]
+
+    def test_dict_values_for_loop(self, lint_tree):
+        findings = lint_tree(
+            {"sim/x.py": "def f(d):\n"
+                         "    out = []\n"
+                         "    for v in d.values():\n"
+                         "        out.append(v)\n"
+                         "    return out\n"}
+        )
+        assert [f.rule for f in findings] == ["DET-ORDER"]
+
+    def test_comprehension_over_set_algebra(self, lint_tree):
+        findings = lint_tree(
+            {"scenarios/x.py": "def f(a, b):\n"
+                               "    return [x for x in set(a) - set(b)]\n"}
+        )
+        assert [f.rule for f in findings] == ["DET-ORDER"]
+
+    def test_star_unpack_of_set(self, lint_tree):
+        findings = lint_tree(
+            {"sim/x.py": "def f(g):\n    s = set()\n    return g(*s)\n"}
+        )
+        assert [f.rule for f in findings] == ["DET-ORDER"]
+
+    def test_join_of_set(self, lint_tree):
+        findings = lint_tree(
+            {"sim/x.py": "def f():\n"
+                         "    s = {'a', 'b'}\n"
+                         "    return ','.join(s)\n"}
+        )
+        assert [f.rule for f in findings] == ["DET-ORDER"]
+
+
+class TestNegatives:
+    def test_sorted_consumption(self, lint_tree):
+        findings = lint_tree(
+            {"mdhf/x.py": "def f():\n"
+                          "    projected: set[int] = set()\n"
+                          "    return tuple(sorted(projected))\n"}
+        )
+        assert findings == []
+
+    def test_genexp_inside_sorted_is_blessed(self, lint_tree):
+        findings = lint_tree(
+            {"scenarios/x.py": "def f(a, b):\n"
+                               "    return sorted(k for k in set(a) | set(b))\n"}
+        )
+        assert findings == []
+
+    def test_membership_and_len(self, lint_tree):
+        findings = lint_tree(
+            {"sim/x.py": "def f(x):\n"
+                         "    s = {1, 2}\n"
+                         "    return x in s and len(s) > 1\n"}
+        )
+        assert findings == []
+
+    def test_dict_items_iteration_is_insertion_ordered(self, lint_tree):
+        findings = lint_tree(
+            {"sim/x.py": "def f(d):\n"
+                         "    return [k for k, v in d.items()]\n"}
+        )
+        assert findings == []
+
+    def test_outside_scoped_packages(self, lint_tree):
+        # The advisor layer does not feed fingerprints; DET-ORDER is
+        # scoped to the packages that do.
+        findings = lint_tree(
+            {"advisor/x.py": "def f():\n    s = {1, 2}\n    return list(s)\n"}
+        )
+        assert findings == []
+
+    def test_plain_list_iteration(self, lint_tree):
+        findings = lint_tree(
+            {"sim/x.py": "def f(xs):\n    return [x for x in xs]\n"}
+        )
+        assert findings == []
+
+
+class TestSuppression:
+    def test_standalone_comment_binds_to_next_line(self, lint_tree):
+        findings = lint_tree(
+            {"sim/x.py": "def f(d):\n"
+                         "    out = []\n"
+                         "    # repro-lint: disable=DET-ORDER -- "
+                         "insertion order is deterministic\n"
+                         "    for v in d.values():\n"
+                         "        out.append(v)\n"
+                         "    return out\n"}
+        )
+        assert findings == []
+
+    def test_disable_file(self, lint_tree):
+        findings = lint_tree(
+            {"sim/x.py": "# repro-lint: disable-file=DET-ORDER -- scratch\n"
+                         "def f():\n"
+                         "    s = {1}\n"
+                         "    a = list(s)\n"
+                         "    b = tuple(s)\n"
+                         "    return a, b\n"}
+        )
+        assert findings == []

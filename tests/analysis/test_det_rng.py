@@ -1,0 +1,120 @@
+"""DET-RNG: true positives, true negatives, suppression, scoping."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rules_fired
+
+
+class TestPositives:
+    def test_global_random_call(self, lint_tree):
+        findings = lint_tree(
+            {"util.py": "import random\n\ndef f():\n    return random.random()\n"}
+        )
+        assert [f.rule for f in findings] == ["DET-RNG"]
+        assert findings[0].line == 4
+        assert "global-state random.random()" in findings[0].message
+
+    def test_global_shuffle(self, lint_tree):
+        findings = lint_tree(
+            {"util.py": "import random\n\ndef f(xs):\n    random.shuffle(xs)\n"}
+        )
+        assert [f.rule for f in findings] == ["DET-RNG"]
+
+    def test_unseeded_random_anywhere(self, lint_tree):
+        findings = lint_tree(
+            {"workload/arrivals.py": "import random\nR = random.Random()\n"}
+        )
+        assert [f.rule for f in findings] == ["DET-RNG"]
+        assert "OS-entropy" in findings[0].message
+
+    def test_seeded_random_outside_sanctioned_module(self, lint_tree):
+        findings = lint_tree(
+            {"mdhf/pick.py": "import random\n\ndef f(s):\n"
+                             "    return random.Random(s)\n"}
+        )
+        assert [f.rule for f in findings] == ["DET-RNG"]
+        assert "derive_rng" in findings[0].message
+
+    def test_numpy_rng_outside_sanctioned_module(self, lint_tree):
+        findings = lint_tree(
+            {"sim/x.py": "import numpy as np\n\ndef f(seed):\n"
+                         "    return np.random.default_rng(seed)\n"}
+        )
+        assert "DET-RNG" in rules_fired(findings)
+
+    def test_wall_clock_in_sim_core(self, lint_tree):
+        findings = lint_tree(
+            {"sim/clock.py": "import time\n\ndef now():\n"
+                             "    return time.time()\n"}
+        )
+        assert [f.rule for f in findings] == ["DET-RNG"]
+        assert "host clock" in findings[0].message
+
+    def test_datetime_now_in_scenarios(self, lint_tree):
+        findings = lint_tree(
+            {"scenarios/stamp.py": "import datetime\n\ndef f():\n"
+                                   "    return datetime.datetime.now()\n"}
+        )
+        assert [f.rule for f in findings] == ["DET-RNG"]
+
+    def test_entropy_import_form(self, lint_tree):
+        findings = lint_tree(
+            {"workload/x.py": "from time import time\n"}
+        )
+        assert [f.rule for f in findings] == ["DET-RNG"]
+        assert "entropy import time.time" in findings[0].detail
+
+    def test_os_urandom_in_sim_core(self, lint_tree):
+        findings = lint_tree(
+            {"sim/x.py": "import os\n\ndef f():\n    return os.urandom(8)\n"}
+        )
+        assert [f.rule for f in findings] == ["DET-RNG"]
+
+
+class TestNegatives:
+    def test_seeded_random_in_sanctioned_module(self, lint_tree):
+        findings = lint_tree(
+            {"workload/arrivals.py": "import random\n\ndef derive(seed):\n"
+                                     "    return random.Random(seed)\n"}
+        )
+        assert findings == []
+
+    def test_perf_counter_is_host_diagnostic(self, lint_tree):
+        findings = lint_tree(
+            {"scenarios/timer.py": "import time\n\ndef f():\n"
+                                   "    return time.perf_counter()\n"}
+        )
+        assert findings == []
+
+    def test_wall_clock_outside_sim_core(self, lint_tree):
+        # time.time() in e.g. the CLI layer is not the simulator's
+        # problem; DET-RNG bans it only under sim/, scenarios/, workload/.
+        findings = lint_tree(
+            {"cli_helpers.py": "import time\n\ndef f():\n"
+                               "    return time.time()\n"}
+        )
+        assert findings == []
+
+    def test_rng_method_calls_on_instance_are_fine(self, lint_tree):
+        findings = lint_tree(
+            {"sim/x.py": "def f(rng):\n    return rng.random() + rng.randint(0, 3)\n"}
+        )
+        assert findings == []
+
+
+class TestSuppression:
+    def test_trailing_disable(self, lint_tree):
+        findings = lint_tree(
+            {"sim/x.py": "import random\n\ndef f(s):\n"
+                         "    return random.Random(s)  "
+                         "# repro-lint: disable=DET-RNG -- test only\n"}
+        )
+        assert findings == []
+
+    def test_disable_wrong_rule_does_not_suppress(self, lint_tree):
+        findings = lint_tree(
+            {"sim/x.py": "import random\n\ndef f(s):\n"
+                         "    return random.Random(s)  "
+                         "# repro-lint: disable=DET-FLOAT\n"}
+        )
+        assert [f.rule for f in findings] == ["DET-RNG"]

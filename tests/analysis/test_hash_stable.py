@@ -1,0 +1,137 @@
+"""HASH-STABLE: registry coverage, probes, and the real registry."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.scenarios.hash_registry import (
+    CONFIG_HASH_REGISTRY,
+    PROBES,
+    registered_classes,
+)
+
+_GOOD_REGISTRY = """\
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Cfg:
+    a: int = 1
+    b: int = 2
+
+
+CONFIG_HASH_REGISTRY = {
+    "Cfg": {
+        "a": ("hash-affecting", "primary knob"),
+        "b": ("default-excluded", "added later"),
+    },
+}
+
+
+def registered_classes():
+    return {"Cfg": Cfg}
+
+
+PROBES = []
+"""
+
+
+def _with_registry(source: str) -> dict[str, str]:
+    return {"scenarios/hash_registry.py": source}
+
+
+class TestFixtureRegistries:
+    def test_complete_registry_is_clean(self, lint_tree):
+        assert lint_tree(_with_registry(_GOOD_REGISTRY)) == []
+
+    def test_unregistered_field_fails(self, lint_tree):
+        source = _GOOD_REGISTRY.replace(
+            '        "b": ("default-excluded", "added later"),\n', ""
+        )
+        findings = lint_tree(_with_registry(source))
+        assert [f.rule for f in findings] == ["HASH-STABLE"]
+        assert "Cfg.b" in findings[0].message
+        assert "unregistered field Cfg.b" == findings[0].detail
+
+    def test_stale_registry_entry_fails(self, lint_tree):
+        source = _GOOD_REGISTRY.replace(
+            "    b: int = 2\n", ""
+        )
+        findings = lint_tree(_with_registry(source))
+        assert [f.rule for f in findings] == ["HASH-STABLE"]
+        assert "stale field Cfg.b" == findings[0].detail
+
+    def test_invalid_policy_fails(self, lint_tree):
+        source = _GOOD_REGISTRY.replace("default-excluded", "whatever")
+        findings = lint_tree(_with_registry(source))
+        assert [f.rule for f in findings] == ["HASH-STABLE"]
+        assert "invalid policy Cfg.b" == findings[0].detail
+
+    def test_unregistered_class_fails(self, lint_tree):
+        source = _GOOD_REGISTRY.replace(
+            'return {"Cfg": Cfg}', 'return {"Cfg": Cfg, "Other": Cfg}'
+        )
+        findings = lint_tree(_with_registry(source))
+        assert [f.detail for f in findings] == ["unregistered class Other"]
+
+    def test_probe_violation_fails(self, lint_tree):
+        source = _GOOD_REGISTRY.replace(
+            "PROBES = []",
+            "def probe_bad():\n"
+            "    return [('probe: drift', 'config_dict drifted')]\n"
+            "\n"
+            "PROBES = [probe_bad]",
+        )
+        findings = lint_tree(_with_registry(source))
+        assert [f.rule for f in findings] == ["HASH-STABLE"]
+        assert findings[0].detail == "probe: drift"
+
+    def test_crashing_probe_is_reported_not_raised(self, lint_tree):
+        source = _GOOD_REGISTRY.replace(
+            "PROBES = []",
+            "def probe_boom():\n"
+            "    raise RuntimeError('boom')\n"
+            "\n"
+            "PROBES = [probe_boom]",
+        )
+        findings = lint_tree(_with_registry(source))
+        assert [f.detail for f in findings] == ["probe crash probe_boom"]
+
+    def test_broken_registry_import_is_a_finding(self, lint_tree):
+        findings = lint_tree(_with_registry("raise RuntimeError('nope')\n"))
+        assert [f.detail for f in findings] == ["registry import failure"]
+
+    def test_missing_registry_skips_the_rule(self, lint_tree):
+        findings = lint_tree({"sim/x.py": "X = 1\n"})
+        assert findings == []
+
+
+class TestRealRegistry:
+    """Acceptance: 100% field coverage of the three config classes."""
+
+    def test_every_class_registered(self):
+        assert set(CONFIG_HASH_REGISTRY) == set(registered_classes()) == {
+            "RunSpec",
+            "SimulationParameters",
+            "WorkloadParameters",
+        }
+
+    def test_full_field_coverage_both_directions(self):
+        for name, cls in registered_classes().items():
+            actual = {field.name for field in dataclasses.fields(cls)}
+            declared = set(CONFIG_HASH_REGISTRY[name])
+            assert declared == actual, name
+
+    def test_every_entry_has_policy_and_note(self):
+        for name, section in CONFIG_HASH_REGISTRY.items():
+            for field_name, (policy, note) in section.items():
+                assert policy in (
+                    "hash-affecting",
+                    "default-excluded",
+                    "fixed-constant",
+                ), (name, field_name)
+                assert note.strip(), (name, field_name)
+
+    def test_probes_pass_on_the_real_dataclasses(self):
+        for probe in PROBES:
+            assert probe() == [], probe.__name__

@@ -1,0 +1,95 @@
+"""The repo itself lints clean, and the committed baseline is honest."""
+
+from __future__ import annotations
+
+import ast
+import contextlib
+import io
+import os
+
+from repro.analysis.baseline import PLACEHOLDER_JUSTIFICATION, load_baseline
+from repro.analysis.engine import (
+    collect_findings,
+    default_baseline,
+    default_root,
+    main,
+)
+from repro.analysis.baseline import apply_baseline
+
+
+def _repo_baseline() -> str:
+    path = default_baseline(default_root())
+    assert path is not None and os.path.exists(path)
+    return path
+
+
+class TestRepoIsClean:
+    def test_default_invocation_exits_zero(self):
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = main([])
+        assert code == 0, out.getvalue()
+        assert "0 findings" in out.getvalue()
+
+    def test_baseline_is_minimal_and_justified(self):
+        """No stale entries, no placeholders, within the agreed budget."""
+        entries = load_baseline(_repo_baseline())
+        assert 0 < len(entries) <= 15
+        assert all(
+            entry.justification != PLACEHOLDER_JUSTIFICATION
+            and len(entry.justification.strip()) >= 15
+            for entry in entries
+        )
+        findings, _suppressed = collect_findings(default_root())
+        active, _baselined, stale = apply_baseline(findings, entries)
+        assert active == []
+        assert stale == [], [entry.key() for entry in stale]
+
+    def test_baseline_names_only_known_rules(self):
+        from repro.analysis.rules import rule_ids
+
+        known = rule_ids() | {"LINT"}
+        for entry in load_baseline(_repo_baseline()):
+            assert entry.rule in known
+
+
+class TestFirstTrophies:
+    """Satellite: the DET-RNG findings ISSUE 10 called out up front."""
+
+    def test_cli_random_import_is_live_and_justified(self):
+        # cli.py's ``import random`` is *used* (each command seeds its
+        # own stream from --seed), so the resolution is a justified
+        # suppression, not deletion.
+        path = os.path.join(default_root(), "cli.py")
+        source = open(path, encoding="utf-8").read()
+        tree = ast.parse(source)
+        assert any(
+            isinstance(node, ast.Import)
+            and any(alias.name == "random" for alias in node.names)
+            for node in tree.body
+        )
+        assert "random.Random(args.seed)" in source
+        assert "repro-lint: disable=DET-RNG" in source
+
+    def test_package_init_has_no_module_level_random(self):
+        # ISSUE 10 suspected a module-level ``import random`` in
+        # repro/__init__.py; it only ever existed inside the docstring
+        # example.  Pin that it stays that way.
+        path = os.path.join(default_root(), "__init__.py")
+        tree = ast.parse(open(path, encoding="utf-8").read())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                assert all(alias.name != "random" for alias in node.names)
+            elif isinstance(node, ast.ImportFrom):
+                assert node.module != "random"
+
+    def test_cli_lint_subcommand_is_wired(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["lint", "--list-rules"])
+        assert args.list_rules is True
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = args.handler(args)
+        assert code == 0
+        assert "DET-RNG" in out.getvalue()
